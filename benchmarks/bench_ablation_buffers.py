@@ -1,0 +1,96 @@
+"""Ablation: buffer sizes make blocking a late indicator (Section 4.4).
+
+"By the time a TCP connection for an overloaded PE blocks, it already has
+at least two system buffers worth of unprocessed tuples." This ablation
+quantifies that: for growing buffer sizes, measure (a) how long until the
+overloaded connection produces its first blocking signal and (b) how many
+expensive tuples are already committed to its pipeline at that moment —
+all of which the ordered merge must still wait for.
+"""
+
+from conftest import run_once
+
+from repro.core.policies import RoundRobinPolicy
+from repro.sim.engine import Simulator
+from repro.streams.hosts import Host, Placement
+from repro.streams.region import ParallelRegion, RegionParams
+from repro.streams.sources import InfiniteSource, constant_cost
+
+BUFFER_SIZES = (4, 16, 64, 256)
+
+
+def first_blocking_signal(buffer_size):
+    """2 PEs, one 100x loaded, round-robin; watch connection 0."""
+    sim = Simulator()
+    host = Host("h", cores=8, thread_speed=2e5)
+    region = ParallelRegion(
+        sim,
+        InfiniteSource(constant_cost(1_000)),
+        RoundRobinPolicy(2),
+        Placement.single_host(2, host),
+        params=RegionParams(
+            send_capacity=buffer_size,
+            recv_capacity=buffer_size,
+            send_overhead=125 / 2e5,
+        ),
+    )
+    region.workers[0].set_load_multiplier(100.0)
+    region.start()
+
+    first_time = None
+    backlog = None
+    horizon = 2_000.0
+
+    def check():
+        nonlocal first_time, backlog
+        if first_time is None and region.blocking_counters[0].episodes > 0:
+            first_time = sim.now
+            backlog = region.connections[0].queued_tuples()
+            sim.stop()
+
+    sim.call_every(0.01, check)
+    sim.run_until(horizon)
+    return first_time, backlog
+
+
+def bench_ablation_buffer_lateness(benchmark, report):
+    results = run_once(
+        benchmark,
+        lambda: {size: first_blocking_signal(size) for size in BUFFER_SIZES},
+    )
+
+    heavy_service = 1_000 * 100.0 / 2e5  # 0.5 s per committed tuple
+    lines = [
+        "Ablation — buffers delay the blocking signal (2 PEs, one 100x)",
+        f"  {'buffer':>7} {'first signal at':>16} {'backlog then':>13} "
+        f"{'drain debt':>11}",
+    ]
+    times = []
+    backlogs = []
+    for size in BUFFER_SIZES:
+        first_time, backlog = results[size]
+        assert first_time is not None, f"no blocking with buffers={size}"
+        times.append(first_time)
+        backlogs.append(backlog)
+        lines.append(
+            f"  {size:>7} {first_time:>15.2f}s {backlog:>13} "
+            f"{backlog * heavy_service:>10.0f}s"
+        )
+    lines.append(
+        "\n  the signal is at best simultaneous with, never ahead of, the"
+        "\n  damage: by first-block time the slow pipeline already holds"
+        "\n  ~two buffers of 100x tuples, whose drain time (the ordered"
+        "\n  merge must wait it out) grows linearly with the buffers —"
+        "\n  the 'too little, too late' of Section 4.4."
+    )
+    report("ablation_buffers", "\n".join(lines))
+
+    # The signal never arrives *earlier* with bigger buffers...
+    assert times == sorted(times), times
+    # ...and the committed backlog (~ two buffers' worth) grows linearly.
+    assert backlogs == sorted(backlogs), backlogs
+    assert backlogs[-1] >= 2 * BUFFER_SIZES[-1] - 2
+    for size, backlog in zip(BUFFER_SIZES, backlogs):
+        assert backlog >= 2 * size - 2, (size, backlog)
+    # The drain debt at the largest buffers dwarfs the smallest's.
+    assert backlogs[-1] >= 20 * backlogs[0]

@@ -1,0 +1,56 @@
+"""Ablation: clustering on vs off as the channel count grows (Section 5.3).
+
+"As we increase the number of connections, the amount of data available
+to each individual connection's function decreases" — clustering pools
+that data. This ablation runs the half-loaded scenario at 16 and 32
+channels with clustering on and off and compares execution time.
+"""
+
+from conftest import run_once
+
+import dataclasses
+
+from repro.experiments.figures import fig13_config
+from repro.experiments.runner import run_experiment
+
+PE_COUNTS = (16, 32)
+TOTAL = 400_000
+
+
+def run_grid():
+    grid = {}
+    for n in PE_COUNTS:
+        for clustering in (False, True):
+            config = fig13_config(n, total_tuples=TOTAL)
+            config.balancer = dataclasses.replace(
+                config.balancer, clustering=clustering
+            )
+            config.name = f"ablation-cluster-{n}-{clustering}"
+            grid[(n, clustering)] = run_experiment(
+                config, "lb-adaptive", record_series=False
+            )
+    return grid
+
+
+def bench_ablation_clustering(benchmark, report):
+    grid = run_once(benchmark, run_grid)
+
+    lines = [
+        "Ablation — clustering on/off (half the PEs 100x, removed at T/8)",
+        f"  {'PEs':>4} {'off: exec':>10} {'on: exec':>10} {'speedup':>8}",
+    ]
+    speedups = {}
+    for n in PE_COUNTS:
+        off = grid[(n, False)].execution_time
+        on = grid[(n, True)].execution_time
+        speedups[n] = off / on
+        lines.append(f"  {n:>4} {off:>9.1f}s {on:>9.1f}s {off / on:>7.2f}x")
+    lines.append(
+        "\n  pooled cluster data lets unobserved channels inherit their"
+        "\n  siblings' functions; the benefit grows with the channel count."
+    )
+    report("ablation_clustering", "\n".join(lines))
+
+    # Clustering must not hurt materially at 16 and should help at 32.
+    assert speedups[16] > 0.75, speedups
+    assert speedups[32] > 0.95, speedups

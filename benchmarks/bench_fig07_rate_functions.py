@@ -1,0 +1,81 @@
+"""Figure 7: the three sample predictive functions.
+
+The paper sketches three characteristic blocking rate functions:
+
+* **left** — no blocking until ~0.5 of the load, then *low* blocking;
+* **middle** — no blocking until ~0.5, then *moderate* blocking;
+* **right** — severe blocking even at 0.001 of the load.
+
+This bench builds each one the same way the live system does — sparse
+(weight, rate) observations, smoothing, monotone regression, linear
+interpolation — and asserts the knee/severity structure plus the distance
+relationships the Section 5.3 clustering relies on.
+"""
+
+from conftest import run_once
+
+from repro.core.clustering import extract_features, function_distance
+from repro.core.rate_function import BlockingRateFunction
+
+
+def build_figure7_functions():
+    # Left: healthy channel, knee at ~50%, low blocking beyond.
+    left = BlockingRateFunction()
+    for weight, rate in ((400, 0.0), (500, 0.0), (550, 0.02), (700, 0.06),
+                         (900, 0.1)):
+        left.observe(weight, rate)
+    # Middle: same knee, moderate blocking beyond.
+    middle = BlockingRateFunction()
+    for weight, rate in ((400, 0.0), (500, 0.0), (560, 0.2), (700, 0.45),
+                         (900, 0.7)):
+        middle.observe(weight, rate)
+    # Right: overloaded channel, severe blocking from the first per-mille.
+    right = BlockingRateFunction()
+    for weight, rate in ((1, 0.85), (5, 0.93), (20, 0.97), (100, 1.0)):
+        right.observe(weight, rate)
+    return left, middle, right
+
+
+def bench_fig07_function_shapes(benchmark, report):
+    left, middle, right = run_once(benchmark, build_figure7_functions)
+
+    features = {
+        "left": extract_features(left),
+        "middle": extract_features(middle),
+        "right": extract_features(right),
+    }
+    lines = ["Figure 7 — sample predictive functions", ""]
+    for name, f in features.items():
+        lines.append(
+            f"  {name:>6}: knee at {f.knee_weight / 10:.1f}%, "
+            f"blocking at knee {f.knee_value:.3f}, at full load "
+            f"{f.full_value:.3f}"
+        )
+    d_lm = function_distance(left, middle)
+    d_lr = function_distance(left, right)
+    d_mr = function_distance(middle, right)
+    lines += [
+        "",
+        f"  Distance(left, middle) = {d_lm:.2f}",
+        f"  Distance(left, right)  = {d_lr:.2f}",
+        f"  Distance(middle, right)= {d_mr:.2f}",
+    ]
+    report("fig07_rate_functions", "\n".join(lines))
+
+    # Knee structure: left/middle knees near 50%, right's near zero.
+    assert 400 <= features["left"].knee_weight <= 600
+    assert 400 <= features["middle"].knee_weight <= 600
+    assert features["right"].knee_weight <= 10
+    # Severity ordering at full load.
+    assert (
+        features["left"].full_value
+        < features["middle"].full_value
+        < features["right"].full_value
+    )
+    # Zero below the knee, positive above (left function).
+    assert left.value(300) == 0.0
+    assert left.value(700) > 0.0
+    # The clustering distance separates the overloaded channel far more
+    # than it separates the two healthy ones.
+    assert d_lr > d_lm
+    assert d_mr > d_lm

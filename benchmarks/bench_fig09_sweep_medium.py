@@ -1,0 +1,97 @@
+"""Figure 9: 2-16 PEs, 1 000-multiply tuples, half the PEs 10x loaded.
+
+Three graphs in the paper, three benches here:
+
+* **left** — static load, total execution time normalized to Oracle*:
+  "with 2-16 PEs, our load balancing scheme is 1.5-4x better than basic
+  round-robin", and LB-static ~= LB-adaptive (being adaptive costs only a
+  margin at medium tuples);
+* **middle** — load removed an eighth through, normalized execution time:
+  adaptation matters at 2-4 PEs; at 8+ PEs the workload stops scaling
+  (the splitter caps at ~8 PEs' worth for 1 000-multiply tuples);
+* **right** — final throughput of the dynamic runs: RR recovers to full
+  speed eventually (all PEs equal after removal), LB-adaptive close.
+"""
+
+from conftest import run_once
+
+from repro.analysis.shape import assert_between, assert_faster
+from repro.experiments.figures import fig09_config
+from repro.experiments.results import format_sweep_table
+from repro.experiments.sweep import run_sweep
+
+PE_COUNTS = (2, 4, 8, 16)
+POLICIES = ("oracle", "lb-static", "lb-adaptive", "rr")
+
+
+def bench_fig09_static(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lambda: run_sweep(
+            lambda n: fig09_config(n, dynamic=False), PE_COUNTS, POLICIES
+        ),
+    )
+    report(
+        "fig09_static",
+        format_sweep_table(
+            rows,
+            title="Figure 9 (left) — static 10x load, time normalized to "
+            "Oracle*:",
+        ),
+    )
+    by = {(r.n_pes, r.policy): r for r in rows}
+    for n in PE_COUNTS:
+        # LB beats RR by the paper's 1.5-4x (allow a little head room).
+        assert_faster(
+            by[(n, "lb-adaptive")].execution_time,
+            by[(n, "rr")].execution_time,
+            at_least=1.5,
+            context=f"fig09 static {n} PEs",
+        )
+        # Static vs adaptive: only a marginal cost to being adaptive.
+        ratio = (
+            by[(n, "lb-adaptive")].execution_time
+            / by[(n, "lb-static")].execution_time
+        )
+        assert_between(ratio, 0.6, 1.6, context=f"fig09 static/adaptive {n}")
+        # Nothing beats Oracle*.
+        assert by[(n, "oracle")].normalized_time == 1.0
+
+
+def bench_fig09_dynamic(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lambda: run_sweep(
+            lambda n: fig09_config(n, dynamic=True), PE_COUNTS, POLICIES
+        ),
+    )
+    report(
+        "fig09_dynamic",
+        format_sweep_table(
+            rows,
+            title="Figure 9 (middle/right) — 10x load removed an eighth "
+            "through:",
+        ),
+    )
+    by = {(r.n_pes, r.policy): r for r in rows}
+    for n in (2, 4):
+        # The benefit of adaptation shows at low PE counts.
+        assert_faster(
+            by[(n, "lb-adaptive")].execution_time,
+            by[(n, "rr")].execution_time,
+            at_least=1.2,
+            context=f"fig09 dynamic {n} PEs",
+        )
+    # RR's *final* throughput catches up after the load disappears
+    # (the paper: "final throughput for RR is always roughly that of
+    # Oracle* and LB-adaptive") — but RR took far longer to get there.
+    for n in (2, 4):
+        rr = by[(n, "rr")]
+        oracle = by[(n, "oracle")]
+        assert rr.final_throughput > 0.7 * oracle.final_throughput
+    # The 8-PE knee: beyond 8 PEs the splitter caps this workload, so
+    # Oracle* at 16 is no faster than at 8.
+    assert (
+        by[(16, "oracle")].execution_time
+        > 0.8 * by[(8, "oracle")].execution_time
+    )

@@ -1,0 +1,104 @@
+"""Figure 10: 10 000-multiply tuples, half the PEs 100x loaded.
+
+The heavy-imbalance sweep. Paper's observations, asserted:
+
+* **static** (left): both LB variants crush RR; the static/adaptive gap
+  is the modest "cost of being adaptive" (up to ~30% at high PE counts);
+* **dynamic** (middle/right): after the 100x load is removed an eighth
+  through, LB-adaptive rediscovers the freed capacity and its *final
+  throughput* clearly beats LB-static's ("its final throughput is almost
+  twice that of LB-static"); RR's final throughput also recovers, but RR
+  "took at least 10x as long to reach this throughput" than Oracle*.
+"""
+
+from conftest import run_once
+
+from repro.analysis.shape import assert_between, assert_faster
+from repro.experiments.figures import fig10_config
+from repro.experiments.results import format_sweep_table
+from repro.experiments.sweep import run_sweep
+
+STATIC_PES = (4, 8, 16)
+POLICIES = ("oracle", "lb-static", "lb-adaptive", "rr")
+
+
+def bench_fig10_static(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lambda: run_sweep(
+            lambda n: fig10_config(n, dynamic=False, total_tuples=200_000),
+            STATIC_PES,
+            POLICIES,
+        ),
+    )
+    report(
+        "fig10_static",
+        format_sweep_table(
+            rows,
+            title="Figure 10 (left) — static 100x load, time normalized "
+            "to Oracle*:",
+        ),
+    )
+    by = {(r.n_pes, r.policy): r for r in rows}
+    for n in STATIC_PES:
+        assert_faster(
+            by[(n, "lb-adaptive")].execution_time,
+            by[(n, "rr")].execution_time,
+            at_least=2.0,
+            context=f"fig10 static {n} PEs",
+        )
+        # "The gap between LB-static and LB-adaptive grows ... to about
+        # 30%. This gap is the cost of being adaptive."
+        ratio = (
+            by[(n, "lb-adaptive")].execution_time
+            / by[(n, "lb-static")].execution_time
+        )
+        assert_between(ratio, 0.6, 1.9, context=f"fig10 adaptive cost {n}")
+
+
+def bench_fig10_dynamic(benchmark, report):
+    # One well-converged size: the static-vs-adaptive final-throughput
+    # separation needs a long post-removal phase (see EXPERIMENTS.md).
+    rows = run_once(
+        benchmark,
+        lambda: run_sweep(
+            lambda n: fig10_config(n, dynamic=True, total_tuples=2_500_000),
+            (16,),
+            POLICIES,
+        ),
+    )
+    report(
+        "fig10_dynamic",
+        format_sweep_table(
+            rows,
+            title="Figure 10 (middle/right) — 100x load removed an eighth "
+            "through, 16 PEs:",
+        ),
+    )
+    by = {(r.n_pes, r.policy): r for r in rows}
+    adaptive = by[(16, "lb-adaptive")]
+    static = by[(16, "lb-static")]
+    rr = by[(16, "rr")]
+    oracle = by[(16, "oracle")]
+
+    # LB-adaptive discovers the removal; LB-static never does.
+    assert adaptive.final_throughput > 1.25 * static.final_throughput, (
+        adaptive.final_throughput,
+        static.final_throughput,
+    )
+    # RR's final throughput recovers to the same ballpark as Oracle*...
+    assert rr.final_throughput > 0.5 * oracle.final_throughput
+    # ...but RR took far longer to reach it (paper: >= 10x Oracle*).
+    assert_faster(
+        oracle.execution_time,
+        rr.execution_time,
+        at_least=8.0,
+        context="fig10 dynamic RR vs Oracle*",
+    )
+    # Both LB variants beat RR in total execution time.
+    assert_faster(
+        adaptive.execution_time,
+        rr.execution_time,
+        at_least=2.5,
+        context="fig10 dynamic LB vs RR",
+    )

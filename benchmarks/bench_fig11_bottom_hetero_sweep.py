@@ -1,0 +1,87 @@
+"""Figure 11 (bottom): 2-24 PEs across heterogeneous hosts.
+
+Four alternatives per PE count — All-Fast, All-Slow, Even-RR (half/half,
+round-robin) and Even-LB (half/half, our scheme). The paper's shape:
+
+* up to 8 PEs, All-Slow ~= Even-RR (the merge gates on the slowest PE);
+* All-Slow degrades past 8 PEs (the slow host oversubscribes);
+* All-Fast keeps improving to 16 PEs (2-way SMT), then flattens;
+* at 24 PEs (16 fast + 8 slow) **Even-LB achieves the best throughput of
+  any configuration** — "adding a slow host to the system can improve
+  performance if we use load balancing that can dynamically detect
+  capacity."
+"""
+
+from conftest import run_once
+
+from repro.analysis.shape import assert_between
+from repro.experiments.figures import fig11_bottom_config
+from repro.experiments.runner import run_experiment
+
+PE_COUNTS = (8, 16, 24)
+ALTERNATIVES = (
+    ("All-Fast", "all-fast", "rr"),
+    ("All-Slow", "all-slow", "rr"),
+    ("Even-RR", "even", "rr"),
+    ("Even-LB", "even", "lb-adaptive"),
+)
+
+
+def run_grid():
+    grid = {}
+    for n in PE_COUNTS:
+        for label, placement, policy in ALTERNATIVES:
+            config = fig11_bottom_config(n, placement)
+            grid[(n, label)] = run_experiment(
+                config, policy, record_series=False
+            )
+    return grid
+
+
+def bench_fig11_bottom(benchmark, report):
+    grid = run_once(benchmark, run_grid)
+
+    lines = [
+        "Figure 11 bottom — heterogeneous hosts "
+        "(time normalized to Even-RR; throughput absolute):",
+        f"  {'PEs':>4} " + "".join(f"{label:>12}" for label, _, _ in ALTERNATIVES),
+    ]
+    for metric, fmt in (("time", "{:>11.2f}x"), ("tput", "{:>11.1f} ")):
+        lines.append(f"  -- {metric} --")
+        for n in PE_COUNTS:
+            base = grid[(n, "Even-RR")].execution_time
+            cells = []
+            for label, _, _ in ALTERNATIVES:
+                result = grid[(n, label)]
+                if metric == "time":
+                    cells.append(fmt.format(result.execution_time / base))
+                else:
+                    cells.append(fmt.format(result.final_throughput()))
+            lines.append(f"  {n:>4} " + "".join(cells))
+    report("fig11_bottom", "\n".join(lines))
+
+    tput = {key: r.final_throughput() for key, r in grid.items()}
+
+    # Up to 8 PEs: All-Slow ~= Even-RR (gated by the slowest PE).
+    assert_between(
+        tput[(8, "All-Slow")] / tput[(8, "Even-RR")],
+        0.8,
+        1.25,
+        context="fig11 All-Slow vs Even-RR at 8 PEs",
+    )
+    # All-Slow stops scaling past 8 PEs (oversubscription).
+    assert tput[(16, "All-Slow")] < 1.15 * tput[(8, "All-Slow")]
+    # All-Fast keeps scaling 8 -> 16 (SMT), then flattens 16 -> 24.
+    assert tput[(16, "All-Fast")] > 1.5 * tput[(8, "All-Fast")]
+    assert tput[(24, "All-Fast")] < 1.15 * tput[(16, "All-Fast")]
+    # Even-RR improves at 24 PEs (16 fast + 8 slow placement).
+    assert tput[(24, "Even-RR")] > tput[(16, "Even-RR")]
+    # The punchline: at 24 PEs Even-LB beats everything, including
+    # All-Fast — the slow host becomes a net win under dynamic LB.
+    best_other = max(
+        tput[(24, label)] for label, _, _ in ALTERNATIVES if label != "Even-LB"
+    )
+    assert tput[(24, "Even-LB")] > best_other, (
+        tput[(24, "Even-LB")],
+        best_other,
+    )

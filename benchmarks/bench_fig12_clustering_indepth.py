@@ -1,0 +1,127 @@
+"""Figure 12: 64 PEs, three load classes, clustering on.
+
+20 channels at 100x cost, 20 at 5x, 24 unloaded. The paper's two panels:
+
+* **left** — allocation weights per channel over time: "the PEs with 100x
+  the load quickly learn they cannot handle much load. However, it takes
+  longer for the unloaded PEs and the PEs with 5x the load to figure out
+  which channel belongs where";
+* **right** — the clustering heatmap: more than three clusters may exist,
+  but "it is imperative that clusters emerge which have *only* channels
+  from the 5x group, and the same for the other performance groups", and
+  in the end the weights rank 100x < 5x < unloaded.
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.analysis.heatmap import ClusterHeatmap
+from repro.experiments.figures import fig12_config
+from repro.experiments.runner import run_experiment
+
+HEAVY = range(0, 20)
+MEDIUM = range(20, 40)
+LIGHT = range(40, 64)
+DURATION = 900.0
+
+
+def class_of(channel: int) -> int:
+    if channel in HEAVY:
+        return 0
+    if channel in MEDIUM:
+        return 1
+    return 2
+
+
+def mean_weight(result, group, t):
+    return statistics.mean(
+        result.weight_series[j].value_at(t) for j in group
+    )
+
+
+def bench_fig12_clustering(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(fig12_config(duration=DURATION), "lb-adaptive"),
+    )
+    heatmap = ClusterHeatmap.from_snapshots(result.cluster_snapshots, 64)
+
+    end = result.sim_time - 1.0
+    lines = ["Figure 12 — 64 channels, 3 load classes, clustering on", ""]
+    lines.append(f"  {'t(s)':>6} {'100x':>7} {'5x':>7} {'1x':>7}  (mean weight)")
+    checkpoints = [100, 200, 400, 600, end]
+    trajectory = {}
+    for t in checkpoints:
+        w = {
+            "100x": mean_weight(result, HEAVY, t),
+            "5x": mean_weight(result, MEDIUM, t),
+            "1x": mean_weight(result, LIGHT, t),
+        }
+        trajectory[t] = w
+        lines.append(
+            f"  {t:>6.0f} {w['100x']:>7.2f} {w['5x']:>7.1f} {w['1x']:>7.1f}"
+        )
+
+    # Pure-cluster statistics midway and at the end.
+    def purity(row_idx):
+        classes = heatmap.classes_at(row_idx)
+        multi = [c for c in classes.values() if len(c) >= 2]
+        pure = [c for c in multi if len({class_of(j) for j in c}) == 1]
+        return len(pure), len(multi)
+
+    mid_pure, mid_multi = purity(len(heatmap.rows) // 2)
+    end_pure, end_multi = purity(len(heatmap.rows) - 1)
+    lines += [
+        "",
+        f"  clusters (size>=2) pure by class: midway {mid_pure}/{mid_multi}, "
+        f"end {end_pure}/{end_multi}",
+        f"  final throughput: {result.final_throughput():.0f}/s "
+        f"(round-robin would be gated at ~{64 * 3.33:.0f}/s)",
+        "",
+        "  heatmap (columns=channels 0..63, rows=time):",
+        heatmap.render(max_rows=16),
+    ]
+    report("fig12_clustering", "\n".join(lines))
+
+    # The 100x class collapses quickly and stays at a trickle.
+    assert trajectory[200]["100x"] < 6.0
+    assert trajectory[end]["100x"] < 2.0
+    # The 5x and unloaded classes differentiate later (the paper's "last
+    # switch" comes late), ranking 100x < 5x < 1x at the end.
+    assert trajectory[end]["100x"] < trajectory[end]["5x"] < trajectory[end]["1x"]
+    assert trajectory[end]["1x"] - trajectory[end]["5x"] > 2.0
+    # Clusters that form are (mostly) pure by load class.
+    assert mid_pure >= max(1, mid_multi - 2)
+    # Throughput vastly exceeds what round-robin would achieve.
+    assert result.final_throughput() > 5.0 * 64 * 3.33
+
+
+def bench_fig12_heatmap_dynamics(benchmark, report):
+    """Cluster membership stabilizes: switches happen early, then stop."""
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            fig12_config(duration=DURATION / 2), "lb-adaptive"
+        ),
+    )
+    heatmap = ClusterHeatmap.from_snapshots(result.cluster_snapshots, 64)
+    total_switches = sum(heatmap.switches(j) for j in range(64))
+    rows = len(heatmap.rows)
+    # Switches in the first vs the second half of the run.
+    first_half = 0
+    second_half = 0
+    for j in range(64):
+        column = [row[j] for row in heatmap.rows]
+        for i in range(1, rows):
+            if column[i] != column[i - 1]:
+                if i < rows // 2:
+                    first_half += 1
+                else:
+                    second_half += 1
+    report(
+        "fig12_heatmap_dynamics",
+        f"Figure 12 heatmap — {total_switches} membership switches over "
+        f"{rows} steps; first half {first_half}, second half {second_half}",
+    )
+    assert first_half > second_half, (first_half, second_half)

@@ -1,0 +1,95 @@
+"""Cross-validation: the fluid model vs the event simulator.
+
+The fluid steady-state model (`repro.sim.fluid`) is the fast substrate
+used by the controller's unit tests; this bench checks that its two core
+predictions agree with the full event-driven dataplane:
+
+* steady-state region throughput ``min(sigma, min_j mu_j / w_j)``;
+* blocking concentrating on the bottleneck connection, with the leader's
+  rate matching the splitter's idle fraction ``1 - lambda / sigma``.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.core.policies import WeightedPolicy
+from repro.sim.engine import Simulator
+from repro.sim.fluid import FluidRegion
+from repro.streams.hosts import Host, Placement
+from repro.streams.region import ParallelRegion, RegionParams
+from repro.streams.sources import InfiniteSource, constant_cost
+
+SCENARIOS = [
+    # (weights, load multipliers) for 3 workers at 20 tuples/s base
+    ([334, 333, 333], [1.0, 1.0, 1.0]),
+    ([600, 200, 200], [1.0, 1.0, 1.0]),
+    ([334, 333, 333], [5.0, 1.0, 1.0]),
+    ([100, 450, 450], [5.0, 1.0, 1.0]),
+]
+SIGMA = 80.0  # splitter rate, tuples/s
+MU = 20.0  # per-worker base service rate
+
+
+def event_throughput(weights, loads, seconds=300.0):
+    sim = Simulator()
+    host = Host("h", cores=8, thread_speed=2e5)
+    region = ParallelRegion(
+        sim,
+        InfiniteSource(constant_cost(10_000)),
+        WeightedPolicy(list(weights)),
+        Placement.single_host(3, host),
+        params=RegionParams(send_overhead=1.0 / SIGMA),
+        load_multipliers=list(loads),
+    )
+    region.start()
+    sim.run_until(seconds)
+    throughput = region.merger.emitted / seconds
+    blocked = [c.lifetime_seconds / seconds for c in region.blocking_counters]
+    return throughput, blocked
+
+
+def fluid_prediction(weights, loads, seconds=300.0):
+    region = FluidRegion(
+        [MU / m for m in loads], splitter_rate=SIGMA
+    )
+    region.set_weights(list(weights))
+    region.advance(seconds)
+    throughput = region.tuples_emitted / seconds
+    blocked = [c.lifetime_seconds / seconds for c in region.blocking_counters]
+    return throughput, blocked
+
+
+def bench_fluid_vs_event(benchmark, report):
+    def run():
+        return [
+            (event_throughput(w, m), fluid_prediction(w, m))
+            for w, m in SCENARIOS
+        ]
+
+    results = run_once(benchmark, run)
+
+    lines = [
+        "Fluid model vs event simulator (3 workers, sigma=80/s, mu=20/s)",
+        f"  {'weights':>17} {'loads':>16} {'event tput':>11} "
+        f"{'fluid tput':>11} {'leader rate (e/f)':>18}",
+    ]
+    for (weights, loads), ((e_tput, e_blk), (f_tput, f_blk)) in zip(
+        SCENARIOS, results
+    ):
+        lines.append(
+            f"  {str(weights):>17} {str(loads):>16} {e_tput:>10.1f} "
+            f"{f_tput:>10.1f}   {max(e_blk):>7.2f}/{max(f_blk):.2f}"
+        )
+        # Throughput within 10%.
+        assert e_tput == pytest.approx(f_tput, rel=0.10), (weights, loads)
+        # Total splitter blocking within 0.1 s/s; the fluid model
+        # concentrates it on one connection, whereas the event simulator
+        # can split near-ties between two near-bottleneck connections.
+        assert abs(sum(e_blk) - sum(f_blk)) < 0.10, (weights, loads)
+        # The fluid leader is always among the event sim's top blockers.
+        if max(f_blk) > 0.05:
+            fluid_leader = f_blk.index(max(f_blk))
+            ranked = sorted(range(3), key=lambda j: -e_blk[j])
+            assert fluid_leader in ranked[:2], (weights, loads, e_blk)
+    report("fluid_vs_event", "\n".join(lines))

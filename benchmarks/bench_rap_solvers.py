@@ -1,0 +1,82 @@
+"""Micro-benchmarks: the minimax RAP solvers (Section 5.2).
+
+The paper chose Fox's greedy algorithm ("the greedy Fox scheme suffices
+because both the number of connections N and the maximum number of
+iterations R are modest") over asymptotically faster exact schemes. These
+micro-benches measure both solvers on realistic problem instances
+(R = 1000; N = 16 and 64; knee-shaped functions) — true multi-round
+pytest benchmarks, unlike the one-shot figure reproductions.
+"""
+
+import pytest
+
+from repro.core.constraints import WeightConstraints
+from repro.core.rap import (
+    objective,
+    solve_minimax_binary_search,
+    solve_minimax_fox,
+)
+
+RESOLUTION = 1000
+
+
+def knee_functions(n):
+    """Knee-shaped functions like Figure 7, with varied capacities."""
+
+    def make(knee, severity):
+        def fn(w):
+            return 0.0 if w <= knee else (w - knee) * severity
+
+        return fn
+
+    return [
+        make(knee=20 + (j * 37) % 400, severity=0.001 + (j % 7) * 0.002)
+        for j in range(n)
+    ]
+
+
+def incremental_bounds(n):
+    current = [RESOLUTION // n] * n
+    current[0] += RESOLUTION - sum(current)
+    return WeightConstraints.incremental(
+        current, RESOLUTION, max_increase=100
+    )
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def bench_fox_greedy(benchmark, n):
+    functions = knee_functions(n)
+    constraints = incremental_bounds(n)
+    weights = benchmark(
+        solve_minimax_fox, functions, RESOLUTION, constraints
+    )
+    assert sum(weights) == RESOLUTION
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def bench_binary_search(benchmark, n):
+    functions = knee_functions(n)
+    constraints = incremental_bounds(n)
+    weights = benchmark(
+        solve_minimax_binary_search, functions, RESOLUTION, constraints
+    )
+    assert sum(weights) == RESOLUTION
+
+
+def bench_solvers_agree(benchmark):
+    """Cross-validation at bench scale: identical objectives."""
+
+    def run():
+        functions = knee_functions(64)
+        constraints = incremental_bounds(64)
+        fox = solve_minimax_fox(functions, RESOLUTION, constraints)
+        binary = solve_minimax_binary_search(
+            functions, RESOLUTION, constraints
+        )
+        return (
+            objective(functions, fox),
+            objective(functions, binary),
+        )
+
+    fox_value, binary_value = benchmark(run)
+    assert fox_value == pytest.approx(binary_value)

@@ -1,0 +1,60 @@
+"""Micro-benchmarks: blocking rate function maintenance (Section 5.1).
+
+The controller touches every connection's function every control round:
+smooth in a sample, decay the region above the current weight, refit
+(monotone regression + interpolation), and evaluate during the Fox solve.
+These benches measure that per-round cost at realistic data volumes, plus
+the clustering distance computation at 64 channels.
+"""
+
+import pytest
+
+from repro.core.clustering import cluster_functions
+from repro.core.monotone import monotone_regression
+from repro.core.rate_function import BlockingRateFunction
+
+
+def populated_function(points=40, seed=7):
+    fn = BlockingRateFunction()
+    state = seed
+    for _ in range(points):
+        state = (state * 1103515245 + 12345) % (2**31)
+        weight = 1 + state % 1000
+        rate = (state >> 8 & 0xFF) / 255.0
+        fn.observe(weight, rate)
+    return fn
+
+
+def bench_observe_decay_refit_evaluate(benchmark):
+    """One control round's worth of function maintenance."""
+    fn = populated_function()
+
+    def round_trip():
+        fn.observe(333, 0.4)
+        fn.decay_above(333, 0.1)
+        # The Fox solve evaluates along the weight axis.
+        return sum(fn.value(w) for w in range(0, 1001, 10))
+
+    total = benchmark(round_trip)
+    assert total >= 0.0
+
+
+def bench_full_table(benchmark):
+    """Materializing the complete 1001-entry fitted table."""
+    fn = populated_function()
+    values = benchmark(fn.values)
+    assert len(values) == 1001
+
+
+@pytest.mark.parametrize("size", [100, 1000])
+def bench_monotone_regression(benchmark, size):
+    values = [(j * 7919) % 100 / 10.0 for j in range(size)]
+    fitted = benchmark(monotone_regression, values)
+    assert len(fitted) == size
+
+
+def bench_cluster_64_channels(benchmark):
+    """The per-round clustering cost at the paper's largest scale."""
+    functions = [populated_function(points=10, seed=j + 1) for j in range(64)]
+    clusters = benchmark(cluster_functions, functions, 1.0)
+    assert sum(len(c) for c in clusters) == 64

@@ -1,0 +1,47 @@
+"""Shared infrastructure for the figure-reproduction benches.
+
+Each ``bench_fig*.py`` regenerates one of the paper's figures: it runs the
+experiment(s), prints the same rows/series the paper reports, asserts the
+result's *shape* (who wins, by roughly what factor, where crossovers fall),
+and records the rendered report under ``benchmarks/_reports/`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be re-derived.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Timing comes from pytest-benchmark (one round per experiment — these are
+deterministic simulations, so repeated rounds would measure the same
+thing).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "_reports"
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The experiments are deterministic, multi-second simulations; measuring
+    one round is both sufficient and honest.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def report():
+    """Persist (and echo) a bench's rendered figure report."""
+
+    def _report(name: str, text: str) -> None:
+        REPORT_DIR.mkdir(exist_ok=True)
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _report

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Measure blocking rates on real OS sockets, as the paper does.
+
+Everything else in this repository runs on the deterministic simulator;
+this example exercises the actual syscall path of Section 3: non-blocking
+sends (``MSG_DONTWAIT``), electing to block via ``select``, and a
+cumulative blocking-time counter per connection.
+
+Three thread workers read frames from their sockets at different speeds
+(worker 2 is 10x slower). A weighted round-robin sender pushes frames, and
+the per-connection blocking counters reveal the slow consumer — the exact
+signal the load balancer runs on.
+
+Run:  python examples/real_sockets.py
+"""
+
+import time
+
+from repro.core.balancer import LoadBalancer
+from repro.net.socket_transport import SocketMiniRegion
+
+SERVICE_TIMES = [0.0004, 0.0004, 0.004]  # worker 2 is 10x slower
+FRAMES_PER_ROUND = 150
+ROUNDS = 8
+
+
+def main() -> None:
+    balancer = LoadBalancer(len(SERVICE_TIMES))
+    print("3 workers on real sockets; worker 2 is 10x slower.")
+    print(f"{'round':>6} {'weights':>22} {'blocking rates (s/s)':>30}")
+
+    with SocketMiniRegion(SERVICE_TIMES) as region:
+        started = time.monotonic()
+        for round_index in range(ROUNDS):
+            region.send_weighted(FRAMES_PER_ROUND, balancer.weights)
+            now = time.monotonic() - started
+            counters = [c.read() for c in region.blocking_counters]
+            weights = balancer.update(now, counters)
+            rates = ", ".join(f"{r:6.3f}" for r in balancer.last_rates)
+            shown = weights if weights is not None else balancer.weights
+            print(f"{round_index:>6} {str(shown):>22} [{rates}]")
+
+    final = balancer.weights
+    print(f"\nfinal weights: {final}")
+    if final[2] < min(final[0], final[1]):
+        print("the balancer starved the slow worker using only "
+              "kernel-level blocking measurements.")
+    else:
+        print("note: on a noisy machine the signal can need more rounds.")
+
+
+if __name__ == "__main__":
+    main()

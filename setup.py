@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment this repository targets installs offline; without the
+``wheel`` package, PEP 660 editable installs cannot build. This shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on
+older toolchains) fall back to the classic ``setup.py develop`` path. All
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

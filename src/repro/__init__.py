@@ -1,0 +1,130 @@
+"""repro — dynamic load balancing for ordered data-parallel regions.
+
+A complete, from-scratch reproduction of *"Dynamic Load Balancing for
+Ordered Data-Parallel Regions in Distributed Streaming Systems"*
+(Schneider, Wolf, Hildrum, Wu, Khandekar; MIDDLEWARE 2016): the
+TCP-blocking-rate metric, per-connection blocking rate functions, the
+minimax separable resource-allocation optimizer, exploration decay,
+function clustering — plus the streaming dataplane substrate (splitter,
+bounded connections, worker PEs, ordered merger, host capacity model) the
+paper evaluates on, here as a deterministic discrete-event simulator and a
+real-socket transport.
+
+Quick start::
+
+    from repro import ExperimentConfig, HostSpec, run_experiment
+
+    config = ExperimentConfig(
+        name="demo",
+        n_workers=3,
+        tuple_cost=1_000,
+        host_specs=[HostSpec("node", thread_speed=2e5)],
+        worker_host=[0, 0, 0],
+        duration=120.0,
+    )
+    result = run_experiment(config, policy="lb-adaptive")
+    print(result.summary())
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from repro.core import (
+    BalancerConfig,
+    BlockingRateEstimator,
+    BlockingRateFunction,
+    LoadBalancer,
+    OraclePolicy,
+    ReroutingPolicy,
+    RoundRobinPolicy,
+    WeightConstraints,
+    WeightedPolicy,
+    agglomerative_cluster,
+    function_distance,
+    monotone_regression,
+    solve_minimax_binary_search,
+    solve_minimax_fox,
+)
+from repro.experiments import (
+    ExperimentConfig,
+    HostSpec,
+    PlacementPlan,
+    RunResult,
+    oracle_schedule,
+    plan_placement,
+    run_experiment,
+)
+from repro.sim import Simulator
+from repro.sim.fluid import FluidRegion
+from repro.streams import (
+    Application,
+    BurstySourceOp,
+    Filter,
+    FiniteSource,
+    Functor,
+    Host,
+    InfiniteSource,
+    OrderedMerger,
+    ParallelRegion,
+    PassThrough,
+    Placement,
+    RegionParams,
+    SinkOp,
+    SourceOp,
+    Splitter,
+    StreamGraph,
+    StreamTuple,
+    UnorderedMerger,
+    WorkerPE,
+)
+from repro.workloads import LoadSchedule, constant_cost
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BalancerConfig",
+    "BlockingRateEstimator",
+    "BlockingRateFunction",
+    "LoadBalancer",
+    "OraclePolicy",
+    "ReroutingPolicy",
+    "RoundRobinPolicy",
+    "WeightConstraints",
+    "WeightedPolicy",
+    "agglomerative_cluster",
+    "function_distance",
+    "monotone_regression",
+    "solve_minimax_binary_search",
+    "solve_minimax_fox",
+    "ExperimentConfig",
+    "HostSpec",
+    "PlacementPlan",
+    "RunResult",
+    "oracle_schedule",
+    "plan_placement",
+    "run_experiment",
+    "Simulator",
+    "FluidRegion",
+    "Application",
+    "BurstySourceOp",
+    "Filter",
+    "FiniteSource",
+    "Functor",
+    "Host",
+    "InfiniteSource",
+    "OrderedMerger",
+    "ParallelRegion",
+    "PassThrough",
+    "Placement",
+    "RegionParams",
+    "SinkOp",
+    "SourceOp",
+    "Splitter",
+    "StreamGraph",
+    "StreamTuple",
+    "UnorderedMerger",
+    "WorkerPE",
+    "LoadSchedule",
+    "constant_cost",
+    "__version__",
+]

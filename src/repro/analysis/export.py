@@ -1,0 +1,105 @@
+"""Export run results for external tooling (plots, notebooks, CI diffing).
+
+The text reports under ``benchmarks/_reports/`` are for humans; these
+helpers serialize a :class:`~repro.experiments.runner.RunResult` (or a
+sweep) into plain JSON/CSV so the paper's figures can be re-plotted with
+any charting stack.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Sequence
+from typing import Any
+
+from repro.experiments.results import SweepRow
+from repro.experiments.runner import RunResult
+from repro.util.timeseries import TimeSeries
+
+
+def series_to_dict(series: TimeSeries) -> dict[str, Any]:
+    """A JSON-friendly view of one time series."""
+    return {
+        "name": series.name,
+        "times": list(series.times),
+        "values": list(series.values),
+    }
+
+
+def result_to_dict(result: RunResult) -> dict[str, Any]:
+    """A JSON-friendly view of a complete run."""
+    return {
+        "name": result.name,
+        "policy": result.policy,
+        "n_workers": result.n_workers,
+        "execution_time": result.execution_time,
+        "completed": result.completed,
+        "emitted": result.emitted,
+        "sim_time": result.sim_time,
+        "final_throughput": result.final_throughput(),
+        "final_latency": result.final_latency(),
+        "reroute_fraction": result.reroute_fraction(),
+        "block_events": result.block_events,
+        "final_weights": list(result.final_weights),
+        "throughput": series_to_dict(result.throughput_series),
+        "latency": series_to_dict(result.latency_series),
+        "weights": [series_to_dict(s) for s in result.weight_series],
+        "blocking_rates": [series_to_dict(s) for s in result.rate_series],
+        "clusters": [
+            {"time": t, "clusters": [list(c) for c in clusters]}
+            for t, clusters in result.cluster_snapshots
+        ],
+    }
+
+
+def result_to_json(result: RunResult, *, indent: int | None = None) -> str:
+    """Serialize a run to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def sweep_to_csv(rows: Sequence[SweepRow]) -> str:
+    """Serialize sweep rows to CSV (one line per (PE count, policy))."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["n_pes", "policy", "execution_time", "normalized_time",
+         "final_throughput"]
+    )
+    for row in rows:
+        writer.writerow(
+            [
+                row.n_pes,
+                row.policy,
+                "" if row.execution_time is None else f"{row.execution_time:.6g}",
+                "" if row.normalized_time is None else f"{row.normalized_time:.6g}",
+                f"{row.final_throughput:.6g}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def series_to_csv(
+    series_list: Sequence[TimeSeries], *, time_label: str = "time"
+) -> str:
+    """Serialize step-function series onto a shared time grid.
+
+    The grid is the union of all sample times; each series contributes its
+    step-function value at every grid point (empty before its first
+    sample).
+    """
+    grid = sorted({t for series in series_list for t in series.times})
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([time_label] + [s.name or f"series{i}"
+                                    for i, s in enumerate(series_list)])
+    for t in grid:
+        cells: list[str] = [f"{t:.6g}"]
+        for series in series_list:
+            if series.times and series.times[0] <= t:
+                cells.append(f"{series.value_at(t):.6g}")
+            else:
+                cells.append("")
+        writer.writerow(cells)
+    return buffer.getvalue()

@@ -1,0 +1,109 @@
+"""The Figure 12 clustering heatmap.
+
+Each row of the paper's heatmap is one control timestep; each column one
+channel; the colour is the cluster the channel belonged to at that step,
+with colours matched across rows. We reproduce the structure: clusters get
+*canonical labels* (stable across timesteps by membership overlap) so a
+channel's column reads as its clustering history, and the map renders as a
+character grid.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def canonical_labels(clusters: Sequence[Sequence[int]], n_channels: int) -> list[int]:
+    """Per-channel cluster label for one timestep.
+
+    Clusters are labelled by their smallest member, which is deterministic
+    and keeps labels comparable across timesteps when membership is
+    stable.
+    """
+    labels = [-1] * n_channels
+    for cluster in clusters:
+        label = min(cluster)
+        for member in cluster:
+            if member >= n_channels:
+                raise ValueError(
+                    f"cluster member {member} out of range 0..{n_channels - 1}"
+                )
+            if labels[member] != -1:
+                raise ValueError(f"channel {member} appears in two clusters")
+            labels[member] = label
+    for channel, label in enumerate(labels):
+        if label == -1:
+            raise ValueError(f"channel {channel} missing from the clustering")
+    return labels
+
+
+class ClusterHeatmap:
+    """Clustering history across a run, renderable as a character grid."""
+
+    def __init__(self, n_channels: int) -> None:
+        if n_channels <= 0:
+            raise ValueError("need at least one channel")
+        self.n_channels = n_channels
+        self.times: list[float] = []
+        self.rows: list[list[int]] = []
+
+    @classmethod
+    def from_snapshots(
+        cls,
+        snapshots: Sequence[tuple[float, Sequence[Sequence[int]]]],
+        n_channels: int,
+    ) -> "ClusterHeatmap":
+        """Build from the runner's ``cluster_snapshots``."""
+        heatmap = cls(n_channels)
+        for time, clusters in snapshots:
+            heatmap.add(time, clusters)
+        return heatmap
+
+    def add(self, time: float, clusters: Sequence[Sequence[int]]) -> None:
+        """Record one timestep's clustering."""
+        self.times.append(time)
+        self.rows.append(canonical_labels(clusters, self.n_channels))
+
+    def classes_at(self, row: int) -> dict[int, list[int]]:
+        """Clusters of a row as ``{label: members}``."""
+        classes: dict[int, list[int]] = {}
+        for channel, label in enumerate(self.rows[row]):
+            classes.setdefault(label, []).append(channel)
+        return classes
+
+    def final_clusters(self) -> list[list[int]]:
+        """The last row's clusters, ordered by smallest member."""
+        classes = self.classes_at(len(self.rows) - 1)
+        return [classes[label] for label in sorted(classes)]
+
+    def switches(self, channel: int) -> int:
+        """How many times ``channel`` changed cluster over the run."""
+        column = [row[channel] for row in self.rows]
+        return sum(1 for a, b in zip(column, column[1:]) if a != b)
+
+    def last_switch_time(self) -> float | None:
+        """Time of the last cluster change anywhere, or ``None`` if none."""
+        last = None
+        for i in range(1, len(self.rows)):
+            if self.rows[i] != self.rows[i - 1]:
+                last = self.times[i]
+        return last
+
+    def render(self, *, max_rows: int = 40) -> str:
+        """Character-grid rendering (x = channel, y = time, t=0 on top)."""
+        if not self.rows:
+            return "(empty heatmap)"
+        stride = max(1, len(self.rows) // max_rows)
+        lines = []
+        glyph_of: dict[int, str] = {}
+        for i in range(0, len(self.rows), stride):
+            row = self.rows[i]
+            cells = []
+            for label in row:
+                if label not in glyph_of:
+                    glyph_of[label] = _GLYPHS[len(glyph_of) % len(_GLYPHS)]
+                cells.append(glyph_of[label])
+            lines.append(f"t={self.times[i]:8.0f} |{''.join(cells)}|")
+        return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Text rendering of time series and tables.
+
+The paper's in-depth figures plot allocation weight (left axis) and
+blocking rate (right axis) per connection over time. In a terminal we
+render the same information as sampled tables and coarse sparkline strips;
+benches print these so a reader can eyeball the dynamics the assertions
+check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.util.timeseries import TimeSeries
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], *, maximum: float | None = None) -> str:
+    """A coarse character strip for ``values`` (0 maps to space).
+
+    ``maximum`` fixes the scale; default is the observed maximum.
+    """
+    if not values:
+        return ""
+    top = maximum if maximum is not None else max(values)
+    if top <= 0:
+        return " " * len(values)
+    chars = []
+    for v in values:
+        level = min(len(_SPARK_LEVELS) - 1, int(v / top * (len(_SPARK_LEVELS) - 1) + 0.5))
+        chars.append(_SPARK_LEVELS[max(0, level)])
+    return "".join(chars)
+
+
+def resample(series: TimeSeries, points: int) -> list[float]:
+    """``points`` evenly spaced step-function samples of ``series``."""
+    if not series:
+        return []
+    if points <= 0:
+        raise ValueError("points must be positive")
+    start, end = series.times[0], series.times[-1]
+    if points == 1 or end == start:
+        return [series.values[-1]]
+    step = (end - start) / (points - 1)
+    return [series.value_at(start + i * step) for i in range(points)]
+
+
+def render_series(
+    series_per_connection: Sequence[TimeSeries],
+    *,
+    title: str = "",
+    points: int = 60,
+    maximum: float | None = None,
+) -> str:
+    """Sparkline strip per connection, on a shared scale."""
+    lines = [title] if title else []
+    sampled = [resample(s, points) for s in series_per_connection]
+    top = maximum
+    if top is None:
+        top = max((max(vals) for vals in sampled if vals), default=0.0)
+    for j, vals in enumerate(sampled):
+        lines.append(f"  conn {j:2d} |{sparkline(vals, maximum=top)}|")
+    if top:
+        lines.append(f"  (full scale = {top:g})")
+    return "\n".join(lines)
+
+
+def render_weight_table(
+    weight_series: Sequence[TimeSeries],
+    times: Sequence[float],
+    *,
+    title: str = "",
+    as_percent: bool = True,
+) -> str:
+    """Allocation weights per connection at chosen times (paper's left axis)."""
+    lines = [title] if title else []
+    header = "  t(s)    " + "".join(f"conn{j:<4d}" for j in range(len(weight_series)))
+    lines.append(header)
+    for t in times:
+        cells = []
+        for series in weight_series:
+            value = series.value_at(t)
+            if as_percent:
+                cells.append(f"{value / 10.0:7.1f}%")
+            else:
+                cells.append(f"{value:8.0f}")
+        lines.append(f"  {t:7.0f}" + "".join(cells))
+    return "\n".join(lines)

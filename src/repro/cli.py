@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                    — list reproducible figures and their benches;
+* ``figure <id>``             — run one figure's experiment(s) and print the
+  report (e.g. ``figure fig8-top``, ``figure fig11-bottom``);
+* ``demo``                    — the quickstart scenario;
+* ``sweep --pes 2,4,8 ...``   — a custom half-loaded sweep.
+
+The CLI is a thin veneer over :mod:`repro.experiments`; anything beyond a
+quick look should use the library API or the benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.heatmap import ClusterHeatmap
+from repro.analysis.report import render_weight_table
+from repro.experiments import figures
+from repro.experiments.results import format_sweep_table
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import run_sweep
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'figure':<14} {'bench':<36} description")
+    for entry in figures.FIGURES:
+        print(f"{entry.figure:<14} {entry.bench:<36} {entry.description}")
+    return 0
+
+
+def _run_indepth(config, *, times: Sequence[float]) -> int:
+    result = run_experiment(config, "lb-adaptive")
+    print(result.summary())
+    print()
+    print(render_weight_table(
+        result.weight_series, times=times,
+        title="allocation weights over time:",
+    ))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    name = args.id.lower().replace("_", "-").replace(".", "")
+    if name in ("fig8-top", "fig08-top"):
+        return _run_indepth(
+            figures.fig08_top_config(),
+            times=[5, 15, 30, 50, 100, 200, 300, 399],
+        )
+    if name in ("fig8-bottom", "fig08-bottom"):
+        return _run_indepth(
+            figures.fig08_bottom_config(),
+            times=[10, 30, 60, 100, 200, 300, 399],
+        )
+    if name in ("fig11-top",):
+        return _run_indepth(
+            figures.fig11_top_config(),
+            times=[10, 30, 60, 120, 200, 299],
+        )
+    if name in ("fig9", "fig09", "fig10"):
+        builder = figures.fig09_config if name != "fig10" else figures.fig10_config
+        pes = [2, 4, 8] if name != "fig10" else [4, 8]
+        for dynamic in (False, True):
+            rows = run_sweep(
+                lambda n: builder(n, dynamic=dynamic),
+                pes,
+                ("oracle", "lb-static", "lb-adaptive", "rr"),
+            )
+            print(format_sweep_table(
+                rows,
+                title=f"{name} {'dynamic' if dynamic else 'static'} "
+                "(times normalized to Oracle*):",
+            ))
+            print()
+        return 0
+    if name in ("fig11-bottom",):
+        for n in (8, 16, 24):
+            for label, placement, policy in (
+                ("All-Fast", "all-fast", "rr"),
+                ("All-Slow", "all-slow", "rr"),
+                ("Even-RR", "even", "rr"),
+                ("Even-LB", "even", "lb-adaptive"),
+            ):
+                result = run_experiment(
+                    figures.fig11_bottom_config(n, placement),
+                    policy,
+                    record_series=False,
+                )
+                print(f"{n:>3} PEs {label:>9}: exec "
+                      f"{result.execution_time:8.1f}s  tput "
+                      f"{result.final_throughput():8.1f}/s")
+        return 0
+    if name in ("fig12",):
+        result = run_experiment(figures.fig12_config(), "lb-adaptive")
+        heatmap = ClusterHeatmap.from_snapshots(result.cluster_snapshots, 64)
+        print(heatmap.render(max_rows=20))
+        end = result.sim_time - 1.0
+        for label, group in (("100x", range(20)), ("5x", range(20, 40)),
+                             ("1x", range(40, 64))):
+            mean = statistics.mean(
+                result.weight_series[j].value_at(end) for j in group
+            )
+            print(f"mean final weight {label:>4}: {mean / 10:.2f}%")
+        return 0
+    if name in ("fig13",):
+        rows = run_sweep(
+            lambda n: figures.fig13_config(n),
+            [32, 64],
+            ("oracle", "lb-static", "lb-adaptive", "rr"),
+        )
+        print(format_sweep_table(rows, title="fig13:"))
+        return 0
+    if name in ("sec44", "sec4-4"):
+        for cost in (1_000, 10_000):
+            config = figures.sec44_config(cost)
+            rr = run_experiment(config, "rr", record_series=False)
+            rt = run_experiment(config, "reroute", record_series=False)
+            print(f"base {cost}: rerouted {rt.reroute_fraction():.2%}, "
+                  f"gain {rr.execution_time / rt.execution_time:.2f}x")
+        return 0
+    print(f"unknown figure {args.id!r}; try `python -m repro list`",
+          file=sys.stderr)
+    return 2
+
+
+def _cmd_demo(_args) -> int:
+    return _run_indepth(
+        figures.fig08_top_config(duration=200.0),
+        times=[5, 15, 25, 50, 100, 150, 199],
+    )
+
+
+def _cmd_sweep(args) -> int:
+    pes = [int(x) for x in args.pes.split(",")]
+    rows = run_sweep(
+        lambda n: figures.fig09_config(n, dynamic=args.dynamic),
+        pes,
+        ("oracle", "lb-static", "lb-adaptive", "rr"),
+    )
+    print(format_sweep_table(rows, title="custom sweep:"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's experiments from the command line.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproducible figures").set_defaults(
+        func=_cmd_list
+    )
+    figure = sub.add_parser("figure", help="run one figure's experiments")
+    figure.add_argument("id", help="figure id, e.g. fig8-top, fig12, sec44")
+    figure.set_defaults(func=_cmd_figure)
+    sub.add_parser("demo", help="a two-minute demonstration").set_defaults(
+        func=_cmd_demo
+    )
+    sweep = sub.add_parser("sweep", help="custom half-10x-loaded sweep")
+    sweep.add_argument("--pes", default="2,4,8", help="comma-separated PE counts")
+    sweep.add_argument("--dynamic", action="store_true",
+                       help="remove the load an eighth through")
+    sweep.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

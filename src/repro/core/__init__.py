@@ -1,0 +1,51 @@
+"""The paper's primary contribution: blocking-rate-driven load balancing.
+
+Data flow (Figure 4 of the paper):
+
+1. :mod:`repro.core.blocking_rate` samples each connection's cumulative
+   blocking-time counter and differences/smooths it into a blocking *rate*.
+2. :mod:`repro.core.rate_function` maintains one blocking-rate function
+   ``F_j(w_j)`` per connection — raw observations smoothed in, forced
+   monotone by :mod:`repro.core.monotone` (PAVA), filled in by linear
+   interpolation/extrapolation, and optionally decayed above the current
+   weight to force exploration.
+3. :mod:`repro.core.clustering` (optional, for 32+ connections) groups
+   similar functions and pools their data.
+4. :mod:`repro.core.rap` minimizes ``max_j F_j(w_j)`` subject to
+   ``sum w_j = R`` and per-connection bounds — Fox's greedy marginal
+   allocation, exactly as in Section 5.2.
+5. :class:`repro.core.balancer.LoadBalancer` orchestrates 1-4 each control
+   interval and emits new allocation weights for the splitter's
+   weighted-round-robin policy (:mod:`repro.core.policies`).
+"""
+
+from repro.core.balancer import BalancerConfig, LoadBalancer
+from repro.core.blocking_rate import BlockingRateEstimator
+from repro.core.clustering import agglomerative_cluster, function_distance
+from repro.core.constraints import WeightConstraints
+from repro.core.monotone import monotone_regression
+from repro.core.policies import (
+    OraclePolicy,
+    ReroutingPolicy,
+    RoundRobinPolicy,
+    WeightedPolicy,
+)
+from repro.core.rap import solve_minimax_binary_search, solve_minimax_fox
+from repro.core.rate_function import BlockingRateFunction
+
+__all__ = [
+    "BalancerConfig",
+    "LoadBalancer",
+    "BlockingRateEstimator",
+    "agglomerative_cluster",
+    "function_distance",
+    "WeightConstraints",
+    "monotone_regression",
+    "OraclePolicy",
+    "ReroutingPolicy",
+    "RoundRobinPolicy",
+    "WeightedPolicy",
+    "solve_minimax_binary_search",
+    "solve_minimax_fox",
+    "BlockingRateFunction",
+]

@@ -1,0 +1,300 @@
+"""The load-balancing controller (Figure 4 of the paper).
+
+Each control round the :class:`LoadBalancer`:
+
+1. samples every connection's cumulative blocking counter and turns it
+   into a smoothed blocking rate (:mod:`repro.core.blocking_rate`);
+2. folds each rate into that connection's blocking rate function at its
+   *current* allocation weight (:mod:`repro.core.rate_function`);
+3. applies the exploration decay above the current weights (LB-adaptive;
+   with ``decay=0`` this is LB-static);
+4. optionally clusters the functions and pools member data
+   (:mod:`repro.core.clustering`);
+5. solves the minimax RAP (:mod:`repro.core.rap`) under incremental
+   weight-change bounds and adopts the result as the new weights.
+
+The controller is transport-agnostic: it sees only counter values and
+emits only weight vectors, so it runs unchanged against the event
+simulator, the fluid model, and the real-socket transport.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.blocking_rate import BlockingRateEstimator
+from repro.core.clustering import DEFAULT_DELTA, cluster_functions
+from repro.core.constraints import WeightConstraints
+from repro.core.rap import solve_minimax_binary_search, solve_minimax_fox
+from repro.core.rate_function import DEFAULT_RESOLUTION, BlockingRateFunction
+
+_SOLVERS = {
+    "fox": solve_minimax_fox,
+    "binary-search": solve_minimax_binary_search,
+}
+
+
+@dataclass(slots=True)
+class BalancerConfig:
+    """Tunables for the controller. Defaults follow the paper.
+
+    ``decay``
+        Exploration decay per round for weights above the current one.
+        The paper chose 10% (0.1); 0 disables exploration (LB-static).
+    ``clustering``
+        Enable Section 5.3 clustering (the paper turns it on at 32+
+        channels).
+    ``max_increase`` / ``max_decrease``
+        Per-round weight-movement bounds in weight units (``None`` =
+        unlimited), the paper's incremental ``m_j``/``M_j``.
+    ``weight_floor``
+        Global minimum weight per connection (0 allows starving a
+        connection entirely, as the paper's runs do).
+    """
+
+    resolution: int = DEFAULT_RESOLUTION
+    rate_alpha: float = 1.0
+    function_alpha: float = 0.3
+    decay: float = 0.1
+    max_increase: int | None = 100
+    max_decrease: int | None = None
+    weight_floor: int = 0
+    clustering: bool = False
+    cluster_threshold: float = 1.0
+    delta: float = DEFAULT_DELTA
+    solver: str = "fox"
+    #: Relative predicted improvement a candidate allocation must show
+    #: before it replaces the current one. Prevents drift between
+    #: allocations the (sparse, decayed) functions cannot distinguish;
+    #: exploration still fires once decay has eroded predictions enough
+    #: to clear the bar.
+    hysteresis: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 1:
+            raise ValueError("resolution must exceed 1")
+        if not 0.0 <= self.decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {self.decay}")
+        if self.weight_floor < 0:
+            raise ValueError("weight_floor must be non-negative")
+        if not 0.0 <= self.hysteresis < 1.0:
+            raise ValueError(f"hysteresis must be in [0, 1), got {self.hysteresis}")
+        if self.solver not in _SOLVERS:
+            raise ValueError(
+                f"unknown solver {self.solver!r}; choose from {sorted(_SOLVERS)}"
+            )
+
+    @classmethod
+    def lb_static(cls, **overrides) -> "BalancerConfig":
+        """The paper's ``LB-static``: the model without exploration decay."""
+        overrides.setdefault("decay", 0.0)
+        return cls(**overrides)
+
+    @classmethod
+    def lb_adaptive(cls, **overrides) -> "BalancerConfig":
+        """The paper's ``LB-adaptive``: 10% decay above current weights."""
+        overrides.setdefault("decay", 0.1)
+        return cls(**overrides)
+
+
+def even_split(resolution: int, n: int) -> list[int]:
+    """Integer weights as close to equal as possible, summing to ``resolution``."""
+    if n <= 0:
+        raise ValueError("need at least one connection")
+    base, remainder = divmod(resolution, n)
+    return [base + (1 if j < remainder else 0) for j in range(n)]
+
+
+def distribute_evenly(
+    total: int, minima: Sequence[int], maxima: Sequence[int]
+) -> list[int]:
+    """Split ``total`` units across members as evenly as bounds allow.
+
+    Used to expand a cluster's allocation to its members: start at each
+    member's minimum, then grant one unit at a time to the member with the
+    smallest current weight (ties to the lowest index) that still has
+    headroom.
+    """
+    if len(minima) != len(maxima):
+        raise ValueError("minima and maxima must have the same length")
+    weights = list(minima)
+    remaining = total - sum(weights)
+    if remaining < 0:
+        raise ValueError(f"total {total} is below the sum of minima")
+    while remaining > 0:
+        candidates = [j for j in range(len(weights)) if weights[j] < maxima[j]]
+        if not candidates:
+            raise ValueError(f"total {total} exceeds the sum of maxima")
+        j = min(candidates, key=lambda k: (weights[k], k))
+        weights[j] += 1
+        remaining -= 1
+    return weights
+
+
+class LoadBalancer:
+    """The blocking-rate minimax load balancer."""
+
+    def __init__(
+        self,
+        n_connections: int,
+        config: BalancerConfig | None = None,
+    ) -> None:
+        if n_connections <= 0:
+            raise ValueError("need at least one connection")
+        self.config = config or BalancerConfig()
+        self.n_connections = n_connections
+        self.functions = [
+            BlockingRateFunction(
+                self.config.resolution,
+                smoothing_alpha=self.config.function_alpha,
+            )
+            for _ in range(n_connections)
+        ]
+        self.estimator = BlockingRateEstimator(
+            n_connections, alpha=self.config.rate_alpha
+        )
+        self._weights = even_split(self.config.resolution, n_connections)
+        #: Most recent smoothed blocking rates (diagnostic).
+        self.last_rates: list[float] = [0.0] * n_connections
+        #: Most recent clustering (singletons until clustering runs).
+        self.last_clusters: list[list[int]] = [[j] for j in range(n_connections)]
+        #: Control rounds executed (excludes the priming sample).
+        self.rounds = 0
+
+    @property
+    def weights(self) -> list[int]:
+        """Current allocation weights (copy), summing to the resolution."""
+        return list(self._weights)
+
+    def update(self, now: float, counters: Sequence[float]) -> list[int] | None:
+        """One control round; returns the new weights (``None`` on priming).
+
+        ``counters`` are the cumulative blocking-time counter values read
+        from the transport layer at time ``now``.
+        """
+        rates = self.estimator.sample(now, counters)
+        if rates is None:
+            return None
+        self.last_rates = rates
+        # Every connection's rate is folded in at its current weight —
+        # including zeros. Under drafting a zero can be misleading (the
+        # draft leader absorbs everyone's blocking), but the per-cell
+        # smoothing, the count-weighted monotone regression, and
+        # re-observation when the leader rotates correct such cells, and
+        # zeros below a connection's true service knee are genuine
+        # capacity evidence the optimizer needs.
+        for j, rate in enumerate(rates):
+            self.functions[j].observe(self._weights[j], rate)
+        if self.config.decay > 0.0:
+            for j in range(self.n_connections):
+                self.functions[j].decay_above(self._weights[j], self.config.decay)
+        candidate = self._solve()
+        if self._accept(candidate):
+            self._weights = candidate
+        self.rounds += 1
+        return self.weights
+
+    def _accept(self, candidate: list[int]) -> bool:
+        """Hysteresis gate: adopt only a meaningfully better allocation.
+
+        Sparse, decayed functions often cannot distinguish allocations;
+        without this gate the optimizer drifts between ties (Fox breaks
+        ties toward low indices) and throughput suffers. The candidate is
+        adopted when its predicted minimax objective beats the current
+        allocation's by at least ``config.hysteresis`` (relatively), so
+        decay-driven re-exploration still fires — just not every round.
+        """
+        if candidate == self._weights:
+            return False
+        if self.config.hysteresis == 0.0:
+            return True
+        current_objective = max(
+            fn.value(w) for fn, w in zip(self.functions, self._weights)
+        )
+        candidate_objective = max(
+            fn.value(w) for fn, w in zip(self.functions, candidate)
+        )
+        return candidate_objective < current_objective * (
+            1.0 - self.config.hysteresis
+        )
+
+    # ------------------------------------------------------------- solving
+
+    def _member_constraints(self) -> WeightConstraints:
+        return WeightConstraints.incremental(
+            self._weights,
+            self.config.resolution,
+            max_decrease=self.config.max_decrease,
+            max_increase=self.config.max_increase,
+            floor=self.config.weight_floor,
+        )
+
+    def _solve(self) -> list[int]:
+        if self.config.clustering and self.n_connections > 1:
+            return self._solve_clustered()
+        return self._solve_direct()
+
+    def _solve_direct(self) -> list[int]:
+        solver = _SOLVERS[self.config.solver]
+        constraints = self._member_constraints()
+        evaluators = [fn.value for fn in self.functions]
+        self.last_clusters = [[j] for j in range(self.n_connections)]
+        return solver(evaluators, self.config.resolution, constraints)
+
+    def _solve_clustered(self) -> list[int]:
+        clusters = cluster_functions(
+            self.functions,
+            self.config.cluster_threshold,
+            delta=self.config.delta,
+        )
+        self.last_clusters = clusters
+        member_bounds = self._member_constraints()
+
+        pooled = [
+            BlockingRateFunction.pooled([self.functions[j] for j in cluster])
+            for cluster in clusters
+        ]
+        sizes = [len(cluster) for cluster in clusters]
+
+        # Cluster-level function: the pooled per-connection function
+        # evaluated at the cluster allocation split evenly among members.
+        def cluster_eval(fn: BlockingRateFunction, size: int):
+            resolution = self.config.resolution
+
+            def evaluate(total_weight: int) -> float:
+                return fn.value(min(resolution, total_weight / size))
+
+            return evaluate
+
+        evaluators = [
+            cluster_eval(fn, size) for fn, size in zip(pooled, sizes)
+        ]
+        cluster_constraints = WeightConstraints(
+            minima=tuple(
+                sum(member_bounds.minima[j] for j in cluster)
+                for cluster in clusters
+            ),
+            maxima=tuple(
+                min(
+                    self.config.resolution,
+                    sum(member_bounds.maxima[j] for j in cluster),
+                )
+                for cluster in clusters
+            ),
+        )
+        solver = _SOLVERS[self.config.solver]
+        cluster_weights = solver(
+            evaluators, self.config.resolution, cluster_constraints
+        )
+
+        weights = [0] * self.n_connections
+        for cluster, total in zip(clusters, cluster_weights):
+            member_weights = distribute_evenly(
+                total,
+                [member_bounds.minima[j] for j in cluster],
+                [member_bounds.maxima[j] for j in cluster],
+            )
+            for j, w in zip(cluster, member_weights):
+                weights[j] = w
+        return weights

@@ -1,0 +1,163 @@
+"""Clustering of blocking rate functions (Section 5.3).
+
+With many connections the fixed budget of blocking observations is spread
+too thin for per-connection functions to be accurate. The paper's insight:
+PEs sharing a host (or a load class) perform alike, so *cluster* similar
+functions and pool their data.
+
+The distance between two functions compares three scale-free features —
+the service-rate knee ``w_{j,s}``, the blocking level at the knee, and the
+blocking level at full load ``R`` — as absolute log-ratios, taking the max
+(not a sum, "to avoid the information loss inherent in aggregating
+numbers"):
+
+    Distance(F_j, F_k) = max( |log(w_js / w_ks)|,
+                              alpha * |log(F_j(w_js) / F_k(w_ks))|,
+                              alpha * |log(F_j(R)   / F_k(R))| )
+
+with ``alpha = log(R) / |log(R * delta)|`` putting the value ratios on the
+same scale as the weight ratio, ``delta`` being the small constant
+introduced when forcing monotonicity (here: the floor that keeps the
+logarithms finite).
+
+Clusters come from agglomerative (complete-linkage) clustering with a merge
+threshold; member data is pooled into one function per cluster and the RAP
+is solved over clusters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.rate_function import BlockingRateFunction
+
+#: Default floor value keeping log-ratios finite (the paper's ``delta``).
+DEFAULT_DELTA = 1e-6
+
+
+@dataclass(slots=True, frozen=True)
+class FunctionFeatures:
+    """The three features the distance function compares."""
+
+    knee_weight: float
+    knee_value: float
+    full_value: float
+
+
+def extract_features(
+    fn: BlockingRateFunction, *, delta: float = DEFAULT_DELTA
+) -> FunctionFeatures:
+    """Compute a function's (knee, knee value, full-load value) features.
+
+    All three are floored at ``delta`` (weights at 1) so that log-ratios
+    are always defined: a connection that has never blocked has a knee at
+    ``R`` and value floors everywhere.
+    """
+    resolution = fn.resolution
+    knee = max(1, fn.knee_weight(threshold=delta))
+    at_knee = fn.value(min(knee + 1, resolution))
+    at_full = fn.value(resolution)
+    return FunctionFeatures(
+        knee_weight=float(knee),
+        knee_value=max(delta, at_knee),
+        full_value=max(delta, at_full),
+    )
+
+
+def distance_alpha(resolution: int, delta: float = DEFAULT_DELTA) -> float:
+    """The paper's scaling factor ``alpha = log R / |log(R delta)|``."""
+    if resolution <= 1:
+        raise ValueError("resolution must exceed 1")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return math.log(resolution) / abs(math.log(resolution * delta))
+
+
+def function_distance(
+    fa: BlockingRateFunction,
+    fb: BlockingRateFunction,
+    *,
+    delta: float = DEFAULT_DELTA,
+) -> float:
+    """Distance between two blocking rate functions (Section 5.3)."""
+    if fa.resolution != fb.resolution:
+        raise ValueError("functions must share a resolution")
+    a = extract_features(fa, delta=delta)
+    b = extract_features(fb, delta=delta)
+    alpha = distance_alpha(fa.resolution, delta)
+    return max(
+        abs(math.log(a.knee_weight / b.knee_weight)),
+        alpha * abs(math.log(a.knee_value / b.knee_value)),
+        alpha * abs(math.log(a.full_value / b.full_value)),
+    )
+
+
+def agglomerative_cluster(
+    distances: Sequence[Sequence[float]],
+    threshold: float,
+) -> list[list[int]]:
+    """Complete-linkage agglomerative clustering.
+
+    ``distances`` is a symmetric matrix. Starting from singletons, the two
+    clusters whose *maximum* pairwise member distance is smallest are
+    merged, repeatedly, while that linkage stays at or below ``threshold``.
+    Returns clusters as sorted index lists, ordered by their smallest
+    member, so results are deterministic.
+    """
+    n = len(distances)
+    if n == 0:
+        return []
+    for row in distances:
+        if len(row) != n:
+            raise ValueError("distance matrix must be square")
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+
+    clusters: list[list[int]] = [[i] for i in range(n)]
+    # Cluster-to-cluster complete linkage, maintained incrementally via the
+    # Lance-Williams update: link(x+y, k) = max(link(x, k), link(y, k)).
+    link = [[float(distances[i][j]) for j in range(n)] for i in range(n)]
+
+    while len(clusters) > 1:
+        best_pair: tuple[int, int] | None = None
+        best_link = math.inf
+        for x in range(len(clusters)):
+            row = link[x]
+            for y in range(x + 1, len(clusters)):
+                if row[y] < best_link:
+                    best_link = row[y]
+                    best_pair = (x, y)
+        if best_pair is None or best_link > threshold:
+            break
+        x, y = best_pair
+        clusters[x] = sorted(clusters[x] + clusters[y])
+        for k in range(len(clusters)):
+            merged_link = max(link[x][k], link[y][k])
+            link[x][k] = merged_link
+            link[k][x] = merged_link
+        # Remove cluster y from both the cluster list and the linkage matrix.
+        del clusters[y]
+        del link[y]
+        for row in link:
+            del row[y]
+
+    return sorted(clusters, key=lambda c: c[0])
+
+
+def cluster_functions(
+    functions: Sequence[BlockingRateFunction],
+    threshold: float,
+    *,
+    delta: float = DEFAULT_DELTA,
+) -> list[list[int]]:
+    """Cluster connections by the distance between their functions."""
+    n = len(functions)
+    matrix = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = function_distance(functions[i], functions[j], delta=delta)
+            matrix[i][j] = d
+            matrix[j][i] = d
+    return agglomerative_cluster(matrix, threshold)

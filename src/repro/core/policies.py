@@ -1,0 +1,160 @@
+"""Routing policies for the splitter.
+
+* :class:`RoundRobinPolicy` — the paper's ``RR`` baseline: no load
+  balancing at all.
+* :class:`WeightedPolicy` — smooth weighted round-robin over integer
+  allocation weights in units of ``1/R`` (0.1% for the paper's ``R=1000``).
+  This is the policy the :class:`~repro.core.balancer.LoadBalancer` drives
+  (``LB-static`` / ``LB-adaptive``) and that :class:`OraclePolicy` extends.
+* :class:`ReroutingPolicy` — the failed transport-level re-routing baseline
+  of Section 4.4: route round-robin, but when the chosen connection would
+  block, offer the tuple to the other connections first.
+* :class:`OraclePolicy` — the paper's ``Oracle*``: weights computed offline
+  from true capacities, switched exactly when the external load changes
+  (which the paper notes is "earlier than is optimal" — queued backlog still
+  reflects the old load, hence the asterisk).
+
+Smooth weighted round-robin (the nginx algorithm) is used instead of
+block-wise weighted round-robin so that low-weight connections stay evenly
+interleaved in the tuple stream — important because the ordered merger
+penalizes bursts to a slow connection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class RoundRobinPolicy:
+    """Cycle through connections 0..N-1 forever."""
+
+    allows_reroute = False
+
+    def __init__(self, n_connections: int) -> None:
+        if n_connections <= 0:
+            raise ValueError("need at least one connection")
+        self.n_connections = n_connections
+        self._next = 0
+
+    def next_connection(self) -> int:
+        """The next connection in cyclic order."""
+        chosen = self._next
+        self._next = (self._next + 1) % self.n_connections
+        return chosen
+
+    def reroute_candidates(self, blocked: int) -> Iterable[int]:
+        """Round-robin never reroutes."""
+        return ()
+
+
+class WeightedPolicy:
+    """Smooth weighted round-robin over integer allocation weights.
+
+    Each call adds every connection's weight to its credit, picks the
+    largest credit, and charges the winner the total weight. Over any
+    window of ``sum(weights)`` picks, connection ``j`` is chosen exactly
+    ``weights[j]`` times, with picks spread as evenly as possible.
+    Zero-weight connections are never picked.
+    """
+
+    allows_reroute = False
+
+    def __init__(self, weights: Sequence[int]) -> None:
+        self.n_connections = len(weights)
+        self._weights: list[int] = []
+        self._credits: list[float] = []
+        self.set_weights(weights)
+
+    @property
+    def weights(self) -> list[int]:
+        """Current allocation weights (copy)."""
+        return list(self._weights)
+
+    def set_weights(self, weights: Sequence[int]) -> None:
+        """Replace the allocation weights.
+
+        Credits are reset so the new distribution takes effect crisply;
+        the controller changes weights at control-interval granularity
+        (~1 s), far coarser than the per-tuple interleave.
+        """
+        if len(weights) != self.n_connections and self._weights:
+            raise ValueError(
+                f"expected {self.n_connections} weights, got {len(weights)}"
+            )
+        cleaned = [int(w) for w in weights]
+        if any(w < 0 for w in cleaned):
+            raise ValueError(f"weights must be non-negative: {cleaned}")
+        if sum(cleaned) <= 0:
+            raise ValueError("at least one weight must be positive")
+        self._weights = cleaned
+        self._credits = [0.0] * len(cleaned)
+
+    def next_connection(self) -> int:
+        """Pick by smooth weighted round-robin."""
+        total = 0
+        best = -1
+        best_credit = float("-inf")
+        for j, w in enumerate(self._weights):
+            if w == 0:
+                continue
+            total += w
+            self._credits[j] += w
+            if self._credits[j] > best_credit:
+                best_credit = self._credits[j]
+                best = j
+        self._credits[best] -= total
+        return best
+
+    def reroute_candidates(self, blocked: int) -> Iterable[int]:
+        """Weighted policy elects to block, never reroutes (Section 4.4)."""
+        return ()
+
+
+class ReroutingPolicy:
+    """Transport-level re-routing baseline (the Section 4.4 experiment).
+
+    Routes like round-robin, but the splitter is allowed to try the other
+    connections (in cyclic order after the blocked one) when the chosen
+    connection's buffer is full. The paper shows this re-routes well under
+    10% of tuples and barely helps, because blocking is a *late* congestion
+    signal; we keep it as a baseline to reproduce exactly that result.
+    """
+
+    allows_reroute = True
+
+    def __init__(self, n_connections: int) -> None:
+        self._rr = RoundRobinPolicy(n_connections)
+        self.n_connections = n_connections
+
+    def next_connection(self) -> int:
+        """Primary route: plain round-robin."""
+        return self._rr.next_connection()
+
+    def reroute_candidates(self, blocked: int) -> Iterable[int]:
+        """All other connections, cyclically after the blocked one."""
+        return (
+            (blocked + offset) % self.n_connections
+            for offset in range(1, self.n_connections)
+        )
+
+
+class OraclePolicy(WeightedPolicy):
+    """``Oracle*``: true-capacity weights with scheduled switch-overs.
+
+    ``schedule`` maps simulated times to weight vectors; the experiment
+    runner applies each change at its time. The initial weights are the
+    entry at time 0 (or the earliest entry).
+    """
+
+    def __init__(self, schedule: dict[float, Sequence[int]]) -> None:
+        if not schedule:
+            raise ValueError("oracle schedule must not be empty")
+        self.schedule = {float(t): [int(w) for w in ws] for t, ws in schedule.items()}
+        first_time = min(self.schedule)
+        super().__init__(self.schedule[first_time])
+
+    def changes_after(self, time: float) -> list[tuple[float, list[int]]]:
+        """Scheduled weight changes strictly after ``time``, in order."""
+        return sorted(
+            (t, ws) for t, ws in self.schedule.items() if t > time
+        )

@@ -1,0 +1,213 @@
+"""Exact solvers for the minimax separable resource allocation problem.
+
+The load-balancing optimization of Section 5.2:
+
+    minimize   max_{1<=j<=N} F_j(w_j)
+    subject to sum_j w_j = R,   m_j <= w_j <= M_j,   w_j integer
+
+with every ``F_j`` monotone non-decreasing. Three exact solvers:
+
+* :func:`solve_minimax_fox` — Fox's greedy marginal allocation [Fox 1966],
+  ``O(N + R log N)`` with a heap. The paper uses this one ("the greedy Fox
+  scheme suffices because both the number of connections N and the maximum
+  number of iterations R are modest"). A simple interchange argument shows
+  greedy is optimal for monotone minimax RAPs.
+* :func:`solve_minimax_binary_search` — binary search on the optimal
+  objective value over the set of attainable function values, in the
+  spirit of Galil & Megiddo [1979]. Used to cross-validate Fox and in the
+  solver micro-benchmarks.
+* :func:`solve_minimax_bruteforce` — exhaustive enumeration for tiny
+  instances; the test oracle.
+
+All take ``functions`` as callables ``f(w) -> float`` over integer weights.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Sequence
+
+from repro.core.constraints import WeightConstraints
+
+RateFunction = Callable[[int], float]
+
+
+class InfeasibleError(ValueError):
+    """No allocation satisfies the bounds and the sum constraint."""
+
+
+def _check_instance(
+    functions: Sequence[RateFunction],
+    resolution: int,
+    constraints: WeightConstraints,
+) -> None:
+    if not functions:
+        raise ValueError("need at least one function")
+    if len(constraints) != len(functions):
+        raise ValueError(
+            f"{len(constraints)} constraint pairs for {len(functions)} functions"
+        )
+    if resolution <= 0:
+        raise ValueError(f"resolution must be positive, got {resolution}")
+    if any(hi > resolution for hi in constraints.maxima):
+        raise ValueError("maxima exceed the resolution")
+    if not constraints.feasible(resolution):
+        raise InfeasibleError(
+            f"bounds admit no allocation summing to {resolution}: "
+            f"sum(minima)={sum(constraints.minima)}, "
+            f"sum(maxima)={sum(constraints.maxima)}"
+        )
+
+
+def solve_minimax_fox(
+    functions: Sequence[RateFunction],
+    resolution: int,
+    constraints: WeightConstraints | None = None,
+) -> list[int]:
+    """Fox's greedy marginal allocation (the paper's solver).
+
+    Start every weight at its minimum; repeatedly give one more unit to
+    the connection whose *next* value ``F_j(w_j + 1)`` is smallest (ties
+    break on connection index, making the result deterministic); stop when
+    the units are exhausted.
+    """
+    if constraints is None:
+        constraints = WeightConstraints.unbounded(len(functions), resolution)
+    _check_instance(functions, resolution, constraints)
+
+    weights = list(constraints.minima)
+    remaining = resolution - sum(weights)
+    # Heap of (next value, connection); lazily refreshed after each grant.
+    heap: list[tuple[float, int]] = []
+    for j, fn in enumerate(functions):
+        if weights[j] < constraints.maxima[j]:
+            heap.append((fn(weights[j] + 1), j))
+    heapq.heapify(heap)
+
+    while remaining > 0 and heap:
+        _value, j = heapq.heappop(heap)
+        weights[j] += 1
+        remaining -= 1
+        if weights[j] < constraints.maxima[j]:
+            heapq.heappush(heap, (functions[j](weights[j] + 1), j))
+
+    if remaining > 0:
+        # feasible() guaranteed sum(maxima) >= resolution, so this cannot
+        # happen; guard against inconsistent inputs anyway.
+        raise InfeasibleError("ran out of capacity before allocating all units")
+    return weights
+
+
+def solve_minimax_binary_search(
+    functions: Sequence[RateFunction],
+    resolution: int,
+    constraints: WeightConstraints | None = None,
+) -> list[int]:
+    """Binary search on the optimal minimax value (Galil-Megiddo style).
+
+    For a candidate value ``lam``, each connection's weight can be pushed
+    up to ``cap_j(lam) = max{w in [m_j, M_j] : F_j(w) <= lam}`` (or ``m_j``
+    when even ``F_j(m_j) > lam`` — the minimum is forced regardless).
+    ``lam`` is achievable iff ``sum_j cap_j(lam) >= R`` and
+    ``lam >= max_j F_j(m_j)``. We binary-search the smallest achievable
+    ``lam`` over the finite set of attainable values, then emit any
+    allocation within the caps (greedily, lowest index first).
+    """
+    if constraints is None:
+        constraints = WeightConstraints.unbounded(len(functions), resolution)
+    _check_instance(functions, resolution, constraints)
+
+    forced = max(
+        fn(lo) for fn, lo in zip(functions, constraints.minima)
+    )
+
+    # Candidate objective values: every attainable F_j(w) within bounds
+    # that is >= the forced level.
+    candidates = {forced}
+    for fn, lo, hi in zip(functions, constraints.minima, constraints.maxima):
+        candidates.update(
+            v for w in range(lo, hi + 1) if (v := fn(w)) > forced
+        )
+    ordered = sorted(candidates)
+
+    def caps_for(lam: float) -> list[int]:
+        caps = []
+        for fn, lo, hi in zip(functions, constraints.minima, constraints.maxima):
+            # F_j is monotone: binary search the last w with F_j(w) <= lam.
+            if fn(lo) > lam:
+                caps.append(lo)
+                continue
+            a, b = lo, hi
+            while a < b:
+                mid = (a + b + 1) // 2
+                if fn(mid) <= lam:
+                    a = mid
+                else:
+                    b = mid - 1
+            caps.append(a)
+        return caps
+
+    lo_idx, hi_idx = 0, len(ordered) - 1
+    while lo_idx < hi_idx:
+        mid = (lo_idx + hi_idx) // 2
+        if sum(caps_for(ordered[mid])) >= resolution:
+            hi_idx = mid
+        else:
+            lo_idx = mid + 1
+    best = ordered[lo_idx]
+
+    caps = caps_for(best)
+    weights = list(constraints.minima)
+    remaining = resolution - sum(weights)
+    for j in range(len(weights)):
+        grant = min(remaining, caps[j] - weights[j])
+        weights[j] += grant
+        remaining -= grant
+        if remaining == 0:
+            break
+    if remaining != 0:
+        raise InfeasibleError("binary search found no feasible objective value")
+    return weights
+
+
+def solve_minimax_bruteforce(
+    functions: Sequence[RateFunction],
+    resolution: int,
+    constraints: WeightConstraints | None = None,
+) -> list[int]:
+    """Exhaustive search; exponential, for cross-validation in tests only.
+
+    Among all optimal allocations, returns the lexicographically smallest
+    objective then the one Fox would prefer is *not* guaranteed — callers
+    should compare objective values, not weight vectors.
+    """
+    if constraints is None:
+        constraints = WeightConstraints.unbounded(len(functions), resolution)
+    _check_instance(functions, resolution, constraints)
+
+    ranges = [
+        range(lo, hi + 1)
+        for lo, hi in zip(constraints.minima, constraints.maxima)
+    ]
+    best_weights: list[int] | None = None
+    best_value = float("inf")
+    for combo in itertools.product(*ranges):
+        if sum(combo) != resolution:
+            continue
+        value = max(fn(w) for fn, w in zip(functions, combo))
+        if value < best_value:
+            best_value = value
+            best_weights = list(combo)
+    if best_weights is None:
+        raise InfeasibleError("no allocation sums to the resolution")
+    return best_weights
+
+
+def objective(
+    functions: Sequence[RateFunction], weights: Sequence[int]
+) -> float:
+    """The minimax objective ``max_j F_j(w_j)`` for a given allocation."""
+    if len(functions) != len(weights):
+        raise ValueError("functions and weights must have the same length")
+    return max(fn(w) for fn, w in zip(functions, weights))

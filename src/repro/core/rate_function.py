@@ -1,0 +1,251 @@
+"""The per-connection blocking rate function ``F_j`` (Section 5.1).
+
+``F_j(w)`` predicts the blocking rate connection ``j`` would experience if
+the splitter gave it allocation weight ``w``, where ``w`` ranges over the
+``R + 1`` discrete values ``0 .. R`` in units of ``1/R`` of the total
+traffic (the paper uses ``R = 1000``, i.e. 0.1% granularity).
+
+Construction follows the paper's three steps exactly:
+
+1. **Smooth new data into the raw data.** Data arrives sparsely — usually a
+   single new (weight, rate) sample for a single connection per collection
+   interval, at that connection's *current* weight. Each observed weight
+   keeps an exponentially smoothed value. The point ``(0, 0)`` is assumed.
+2. **Monotone regression.** The raw points are forced non-decreasing with
+   pool-adjacent-violators (:mod:`repro.core.monotone`), weighted by how
+   much data each point has accumulated.
+3. **Interpolation / extrapolation.** Missing weights between raw points
+   are filled by linear interpolation; weights beyond the last raw point by
+   linear extrapolation along the final segment's slope.
+
+The exploration mechanism of Section 5.4 is :meth:`decay_above`: every
+control round, predicted blocking for all weights above the connection's
+current weight is reduced by a fixed fraction (the paper chose 10%), so
+stale pessimism fades and the optimizer is eventually induced to re-explore.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.util.validation import check_fraction, check_non_negative, check_positive
+
+#: The paper's resolution: 1000 units of 0.1% each.
+DEFAULT_RESOLUTION = 1000
+
+
+@dataclass(slots=True)
+class _RawCell:
+    """Smoothed observations at one allocation weight."""
+
+    value: float
+    count: int
+
+
+class BlockingRateFunction:
+    """One connection's predicted blocking rate versus allocation weight."""
+
+    def __init__(
+        self,
+        resolution: int = DEFAULT_RESOLUTION,
+        *,
+        smoothing_alpha: float = 0.5,
+        max_count: int = 64,
+    ) -> None:
+        check_positive("resolution", resolution)
+        check_fraction("smoothing_alpha", smoothing_alpha)
+        if smoothing_alpha == 0.0:
+            raise ValueError("smoothing_alpha must be positive")
+        check_positive("max_count", max_count)
+        self.resolution = int(resolution)
+        self.smoothing_alpha = float(smoothing_alpha)
+        self.max_count = int(max_count)
+        # Raw smoothed data, keyed by weight. (0, 0) is assumed and pinned.
+        self._raw: dict[int, _RawCell] = {0: _RawCell(0.0, 1)}
+        self._fit_cache: tuple[list[int], list[float], float] | None = None
+
+    # ------------------------------------------------------------- updates
+
+    def observe(self, weight: int, rate: float) -> None:
+        """Smooth a new blocking-rate sample at ``weight`` into the data.
+
+        Observations at weight 0 are ignored: a connection receiving no
+        tuples cannot block, and the paper pins ``(0, 0)``. (A nonzero
+        rate can still be *measured* at weight 0 while previously queued
+        tuples drain; it is not predictive.)
+        """
+        self._check_weight(weight)
+        check_non_negative("rate", rate)
+        if weight == 0:
+            return
+        cell = self._raw.get(weight)
+        if cell is None:
+            self._raw[weight] = _RawCell(float(rate), 1)
+        else:
+            cell.value += self.smoothing_alpha * (float(rate) - cell.value)
+            cell.count = min(cell.count + 1, self.max_count)
+        self._fit_cache = None
+
+    def decay_above(self, weight: int, fraction: float = 0.1) -> None:
+        """Reduce predicted blocking above ``weight`` by ``fraction``.
+
+        The Section 5.4 exploration mechanism: geometric decay of every raw
+        point beyond the current allocation weight. Repeated rounds flatten
+        the function there, so the minimax optimizer will eventually push
+        weight back up and trigger fresh data collection.
+        """
+        self._check_weight(weight)
+        check_fraction("fraction", fraction)
+        if fraction == 0.0:
+            return
+        decayed = False
+        for w, cell in self._raw.items():
+            if w > weight and cell.value > 0.0:
+                cell.value *= 1.0 - fraction
+                decayed = True
+        if decayed:
+            self._fit_cache = None
+
+    def forget(self) -> None:
+        """Drop all observations (topology change)."""
+        self._raw = {0: _RawCell(0.0, 1)}
+        self._fit_cache = None
+
+    @classmethod
+    def pooled(
+        cls, members: "list[BlockingRateFunction]"
+    ) -> "BlockingRateFunction":
+        """A new function incorporating all raw data of ``members``.
+
+        This is the Section 5.3 cluster function: member connections are
+        believed to perform alike, so their raw points share a domain and
+        can be pooled directly — values at the same weight are combined by
+        a count-weighted average. The pooled function "will also tend to
+        be more robust, because it incorporates more data than is
+        available to just a single channel".
+        """
+        if not members:
+            raise ValueError("need at least one member function")
+        resolution = members[0].resolution
+        if any(m.resolution != resolution for m in members):
+            raise ValueError("member functions must share a resolution")
+        pooled = cls(
+            resolution,
+            smoothing_alpha=members[0].smoothing_alpha,
+            max_count=members[0].max_count,
+        )
+        for member in members:
+            for weight, cell in member._raw.items():
+                if weight == 0:
+                    continue
+                existing = pooled._raw.get(weight)
+                if existing is None:
+                    pooled._raw[weight] = _RawCell(cell.value, cell.count)
+                else:
+                    total = existing.count + cell.count
+                    existing.value = (
+                        existing.value * existing.count + cell.value * cell.count
+                    ) / total
+                    existing.count = min(total, pooled.max_count)
+        pooled._fit_cache = None
+        return pooled
+
+    # ------------------------------------------------------------- queries
+
+    def observed_weights(self) -> list[int]:
+        """Weights with raw data, ascending (always includes 0)."""
+        return sorted(self._raw)
+
+    def raw_value(self, weight: int) -> float | None:
+        """Smoothed raw observation at ``weight``, or ``None``."""
+        cell = self._raw.get(weight)
+        return cell.value if cell is not None else None
+
+    def value(self, weight: float) -> float:
+        """``F_j(weight)`` — fitted, monotone, interpolated/extrapolated.
+
+        Accepts fractional weights (linear interpolation); used by the
+        cluster-level functions, which evaluate at ``W / cluster_size``.
+        """
+        if not 0 <= weight <= self.resolution:
+            raise ValueError(
+                f"weight must be in [0, {self.resolution}], got {weight}"
+            )
+        xs, ys, slope = self._fit()
+        if weight >= xs[-1]:
+            return ys[-1] + slope * (weight - xs[-1])
+        idx = bisect.bisect_right(xs, weight)
+        if idx == 0:
+            return ys[0]
+        x0, x1 = xs[idx - 1], xs[idx]
+        y0, y1 = ys[idx - 1], ys[idx]
+        if x1 == x0:
+            return y1
+        return y0 + (y1 - y0) * (weight - x0) / (x1 - x0)
+
+    def values(self) -> list[float]:
+        """The full fitted table ``[F(0), F(1), ..., F(R)]``."""
+        return [self.value(w) for w in range(self.resolution + 1)]
+
+    def knee_weight(self, threshold: float = 0.0) -> int:
+        """The service-rate knee ``w_{j,s}`` (Section 5.3).
+
+        The largest weight whose predicted blocking is at most
+        ``threshold`` — "until the load on channel j is equal to its
+        service rate, it experiences no blocking". Returns ``resolution``
+        when the function never exceeds the threshold (no blocking seen).
+        """
+        xs, ys, slope = self._fit()
+        if ys[-1] <= threshold:
+            # Check extrapolation beyond the last raw point.
+            if slope <= 0.0 or self.value(self.resolution) <= threshold:
+                return self.resolution
+            # First extrapolated weight above threshold.
+            over = xs[-1] + (threshold - ys[-1]) / slope
+            return max(0, min(self.resolution, int(over)))
+        # Binary search over fitted breakpoints for last value <= threshold.
+        idx = bisect.bisect_right(ys, threshold) - 1
+        if idx < 0:
+            return 0
+        # Within the segment [xs[idx], xs[idx+1]] the fit is linear; find
+        # the largest integer weight still at or below the threshold.
+        x0, y0 = xs[idx], ys[idx]
+        x1, y1 = xs[idx + 1], ys[idx + 1]
+        if y1 == y0:
+            return x1
+        crossing = x0 + (threshold - y0) * (x1 - x0) / (y1 - y0)
+        return max(0, min(self.resolution, int(crossing)))
+
+    # ------------------------------------------------------------- internal
+
+    def _check_weight(self, weight: int) -> None:
+        if not isinstance(weight, int):
+            raise TypeError(f"weight must be an int, got {type(weight).__name__}")
+        if not 0 <= weight <= self.resolution:
+            raise ValueError(
+                f"weight must be in [0, {self.resolution}], got {weight}"
+            )
+
+    def _fit(self) -> tuple[list[int], list[float], float]:
+        """Monotone-regressed breakpoints plus extrapolation slope."""
+        if self._fit_cache is not None:
+            return self._fit_cache
+        from repro.core.monotone import monotone_regression
+
+        xs = sorted(self._raw)
+        raw_values = [self._raw[w].value for w in xs]
+        counts = [float(self._raw[w].count) for w in xs]
+        ys = monotone_regression(raw_values, counts)
+        if len(xs) >= 2 and xs[-1] != xs[-2]:
+            slope = max(0.0, (ys[-1] - ys[-2]) / (xs[-1] - xs[-2]))
+        else:
+            slope = 0.0
+        self._fit_cache = (xs, ys, slope)
+        return self._fit_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BlockingRateFunction(resolution={self.resolution}, "
+            f"points={len(self._raw)})"
+        )

@@ -1,0 +1,183 @@
+"""Experiment configuration.
+
+An :class:`ExperimentConfig` fully describes one run: the region's width
+and dataplane parameters, the hosts and the worker-to-host placement, the
+tuple cost, the external-load schedule, and either a fixed tuple budget
+(execution-time experiments) or a time horizon (in-depth experiments).
+
+Host speeds are a free scale parameter: the paper's results depend only on
+*ratios* (loads of 5x/10x/100x, fast-vs-slow hosts, splitter much faster
+than any worker), so benches pick speeds that keep simulated runs cheap
+while preserving every ratio. See DESIGN.md ("Time scaling").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.balancer import BalancerConfig
+from repro.streams.hosts import Host, Placement
+from repro.streams.region import RegionParams
+from repro.util.validation import check_positive
+from repro.workloads.external_load import LoadSchedule
+
+
+@dataclass(slots=True, frozen=True)
+class HostSpec:
+    """Recipe for a :class:`~repro.streams.hosts.Host`.
+
+    ``slow()`` and ``fast()`` encode the paper's two machine types; the
+    fast host has 2-way SMT (16 hardware threads) and a per-thread speed
+    ratio matching the ~65/35 split the paper's Figure 11 converges to.
+    """
+
+    name: str
+    cores: int = 8
+    smt_per_core: int = 1
+    thread_speed: float = 1e6
+    smt_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("cores", self.cores)
+        check_positive("smt_per_core", self.smt_per_core)
+        check_positive("thread_speed", self.thread_speed)
+
+    @classmethod
+    def slow(cls, thread_speed: float, name: str = "slow") -> "HostSpec":
+        """The paper's X5365 host: 8 cores, no SMT."""
+        return cls(name=name, cores=8, smt_per_core=1, thread_speed=thread_speed)
+
+    @classmethod
+    def fast(cls, slow_thread_speed: float, name: str = "fast", *, speed_ratio: float = 1.857) -> "HostSpec":
+        """The paper's X5687 host: 8 cores, 2-way SMT, faster per thread.
+
+        ``speed_ratio`` is fast-vs-slow per-thread speed; the default
+        reproduces Figure 11's observed ~65/35 stable split for one PE on
+        each host type.
+        """
+        return cls(
+            name=name,
+            cores=8,
+            smt_per_core=2,
+            thread_speed=slow_thread_speed * speed_ratio,
+        )
+
+    def build(self) -> Host:
+        """Instantiate a fresh :class:`Host` (one per run; hosts hold state)."""
+        return Host(
+            self.name,
+            cores=self.cores,
+            smt_per_core=self.smt_per_core,
+            thread_speed=self.thread_speed,
+            smt_efficiency=self.smt_efficiency,
+        )
+
+
+@dataclass(slots=True)
+class ExperimentConfig:
+    """A complete description of one experiment run."""
+
+    name: str
+    n_workers: int
+    tuple_cost: float
+    host_specs: list[HostSpec]
+    #: Index into ``host_specs`` for each worker.
+    worker_host: list[int] | None = None
+    load_schedule: LoadSchedule = field(default_factory=LoadSchedule.none)
+    #: Finite tuple budget -> "total execution time" experiments.
+    total_tuples: int | None = None
+    #: Time horizon in simulated seconds -> in-depth experiments. Also the
+    #: safety cap for finite runs.
+    duration: float | None = None
+    region: RegionParams = field(default_factory=RegionParams)
+    #: Per-tuple cost on the splitter's machine, in integer-multiply
+    #: equivalents. This sets the region's maximum ingest rate
+    #: (``splitter_thread_speed / splitter_cost_multiplies``) — the
+    #: source/splitter/merger overhead that caps scaling in the paper's
+    #: system ("for a base cost of 1,000 integer multiplies per tuple,
+    #: 8 PEs is the point at which additional parallelism does not improve
+    #: performance" implies a per-tuple region overhead of ~1000/8 = 125
+    #: multiplies, the default). Set ``None`` to use ``region.send_overhead``
+    #: directly.
+    splitter_cost_multiplies: float | None = 125.0
+    #: Speed of the machine hosting splitter+merger (the paper keeps them
+    #: on a separate host of the "slow" type). ``None`` -> host_specs[0].
+    splitter_thread_speed: float | None = None
+    sample_interval: float = 1.0
+    balancer: BalancerConfig = field(default_factory=BalancerConfig)
+    #: Enforce sequential semantics at the merger (the paper's default).
+    #: ``False`` models parallel sinks / unordered production regions.
+    ordered: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("n_workers", self.n_workers)
+        check_positive("tuple_cost", self.tuple_cost)
+        if not self.host_specs:
+            raise ValueError("host_specs must be non-empty")
+        if self.worker_host is None:
+            # Default placement: one PE per core, filling hosts in order
+            # and cycling if workers outnumber total cores.
+            assignment: list[int] = []
+            spec_idx, used = 0, 0
+            for _ in range(self.n_workers):
+                if used >= self.host_specs[spec_idx].cores:
+                    spec_idx = (spec_idx + 1) % len(self.host_specs)
+                    used = 0
+                assignment.append(spec_idx)
+                used += 1
+            self.worker_host = assignment
+        if len(self.worker_host) != self.n_workers:
+            raise ValueError(
+                f"worker_host has {len(self.worker_host)} entries for "
+                f"{self.n_workers} workers"
+            )
+        if any(not 0 <= h < len(self.host_specs) for h in self.worker_host):
+            raise ValueError("worker_host references an unknown host spec")
+        if self.total_tuples is None and self.duration is None:
+            raise ValueError("set total_tuples and/or duration")
+        check_positive("sample_interval", self.sample_interval)
+        if self.splitter_cost_multiplies is not None:
+            check_positive(
+                "splitter_cost_multiplies", self.splitter_cost_multiplies
+            )
+            speed = (
+                self.splitter_thread_speed
+                if self.splitter_thread_speed is not None
+                else self.host_specs[0].thread_speed
+            )
+            self.region.send_overhead = self.splitter_cost_multiplies / speed
+
+    def max_ingest_rate(self) -> float:
+        """The splitter's maximum send rate in tuples/sec."""
+        return 1.0 / self.region.send_overhead
+
+    def build_placement(self) -> Placement:
+        """Fresh hosts + placement for one run."""
+        hosts = [spec.build() for spec in self.host_specs]
+        assert self.worker_host is not None
+        return Placement(host_of=[hosts[h] for h in self.worker_host])
+
+    def horizon(self) -> float:
+        """Hard stop time for the simulation.
+
+        Finite runs stop when the budget drains; the horizon is a safety
+        net sized from a pessimistic throughput bound when ``duration``
+        was not given.
+        """
+        if self.duration is not None:
+            return self.duration
+        assert self.total_tuples is not None
+        # Pessimistic bound: the whole budget through the slowest worker.
+        slowest = min(
+            spec.thread_speed for spec in self.host_specs
+        )
+        worst_multiplier = max(
+            [1.0] + [e.multiplier for e in self.load_schedule.events]
+            + list(self.load_schedule.initial.values())
+        )
+        per_tuple = self.tuple_cost * worst_multiplier / slowest
+        return 10.0 + 2.0 * self.total_tuples * per_tuple
+
+    def with_name(self, name: str) -> "ExperimentConfig":
+        """Copy with a different name (sweeps reuse one template)."""
+        return replace(self, name=name)

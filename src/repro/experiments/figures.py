@@ -1,0 +1,401 @@
+"""Per-figure experiment definitions (the paper's Section 6).
+
+Every figure with data has a builder here returning ready-to-run
+:class:`~repro.experiments.config.ExperimentConfig` objects. The benches
+under ``benchmarks/`` call these builders and assert the paper's shapes.
+
+Scaling discipline (see DESIGN.md and EXPERIMENTS.md):
+
+* **Simulated time is free but events are not.** Host speeds are chosen per
+  figure so that each bench regenerates in seconds of CPU while preserving
+  every ratio the paper reports.
+* **Separation of time scales.** The sampling interval must dwarf even the
+  most expensive single service time (in the paper: 1 s vs ~2 ms; a ratio
+  of hundreds). Each builder keeps ``interval >= ~10-20x`` the heaviest
+  service time, stretching the experiment's time axis where needed.
+* **Splitter rate calibration.** The region's per-tuple overhead rate
+  ``sigma`` (send cost on the splitter host) is calibrated to the paper's
+  observed knees: Figure 9 stops scaling at 8 PEs for 1 000-multiply tuples
+  (``sigma ~= 8x`` one PE's rate, i.e. ~125 multiplies per send); in-depth
+  figures use the moderately saturated regime in which blocking rates are
+  informative (Figures 5 and 7 show knees, so the paper's ``sigma`` there
+  is comparable to region capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.balancer import BalancerConfig
+from repro.experiments.config import ExperimentConfig, HostSpec
+from repro.streams.region import RegionParams
+from repro.workloads.external_load import LoadSchedule
+
+#: Baseline "slow host" thread speed for cheap in-depth runs.
+SLOW_SPEED = 2e5
+
+
+# --------------------------------------------------------------------- Fig 5
+
+
+def fig05_fixed_split_config(split: tuple[int, int]) -> ExperimentConfig:
+    """Figure 5: two homogeneous PEs at a fixed allocation split.
+
+    The paper statically divides the load 80/20, 70/30, 60/40, 50/50 and
+    plots each split's connection-1 blocking rate over time: flat within a
+    run, monotone across splits, with a draft-leader swap at 50/50. The
+    splitter rate is comparable to the two PEs' capacity so the rates stay
+    informative (Figure 7's knees near 0.5 imply exactly that regime).
+    """
+    if len(split) != 2 or sum(split) != 1000:
+        raise ValueError(f"split must be two weights summing to 1000: {split}")
+    return ExperimentConfig(
+        name=f"fig05-{split[0]}-{split[1]}",
+        n_workers=2,
+        tuple_cost=10_000,
+        host_specs=[HostSpec("slow", thread_speed=SLOW_SPEED)],
+        worker_host=[0, 0],
+        duration=120.0,
+        # sigma ~= 1.25x the two PEs' aggregate rate of 40 tuples/s.
+        splitter_cost_multiplies=4_000,
+    )
+
+
+# --------------------------------------------------------------------- Fig 8
+
+
+def fig08_top_config(*, duration: float = 400.0) -> ExperimentConfig:
+    """Figure 8 (top): 3 PEs, 1 000-multiply tuples, one PE 100x loaded.
+
+    The load is removed an eighth through the run. Expected behaviour:
+    the loaded connection's weight collapses to ~0-3%, re-exploration
+    spikes follow, and after the removal it climbs back toward an even
+    split.
+    """
+    speed = 2e6  # heavy service 0.05 s << 1 s sampling interval
+    return ExperimentConfig(
+        name="fig08-top",
+        n_workers=3,
+        tuple_cost=1_000,
+        host_specs=[HostSpec("slow", thread_speed=speed)],
+        worker_host=[0, 0, 0],
+        load_schedule=LoadSchedule.removed_at([0], 100.0, duration / 8.0),
+        duration=duration,
+        # sigma ~= 6_667 tuples/s vs 2 unloaded PEs at 4_000/s: moderately
+        # saturated, and the loaded PE's sustainable share is ~3 per mille,
+        # matching the weights the paper reports it settling at.
+        splitter_cost_multiplies=300,
+    )
+
+
+def fig08_bottom_config(*, duration: float = 400.0) -> ExperimentConfig:
+    """Figure 8 (bottom): 3 equal PEs, 10 000-multiply tuples, no load.
+
+    Drafting dominates early (one connection absorbs all blocking); the
+    model must still converge to an even split.
+    """
+    return ExperimentConfig(
+        name="fig08-bottom",
+        n_workers=3,
+        tuple_cost=10_000,
+        host_specs=[HostSpec("slow", thread_speed=SLOW_SPEED)],
+        worker_host=[0, 0, 0],
+        duration=duration,
+        # sigma ~= 80/s vs 60/s capacity: high blocking is unavoidable,
+        # exactly the regime the paper designed this experiment around.
+        splitter_cost_multiplies=2_500,
+    )
+
+
+# --------------------------------------------------------------------- Fig 9
+
+
+def fig09_config(
+    n_workers: int,
+    *,
+    dynamic: bool,
+    total_tuples: int = 60_000,
+) -> ExperimentConfig:
+    """Figure 9: 2-16 PEs, 1 000-multiply tuples, half the PEs 10x loaded.
+
+    ``dynamic=False`` keeps the load for the whole run (left graph);
+    ``dynamic=True`` removes it an eighth through (middle/right graphs).
+    """
+    if dynamic:
+        schedule = LoadSchedule.half_loaded_until_emitted(
+            n_workers, 10.0, max(1, total_tuples // 8)
+        )
+    else:
+        schedule = LoadSchedule.half_loaded(n_workers, 10.0)
+    # One PE per core: the paper spreads workers across enough 8-core
+    # hosts ("when we use 16 PEs, we are using two machines"); identical
+    # hosts at one PE per core are equivalent to one wide host.
+    return ExperimentConfig(
+        name=f"fig09-{'dyn' if dynamic else 'static'}-{n_workers}",
+        n_workers=n_workers,
+        tuple_cost=1_000,
+        host_specs=[HostSpec("slow", cores=max(8, n_workers), thread_speed=SLOW_SPEED)],
+        worker_host=[0] * n_workers,
+        load_schedule=schedule,
+        total_tuples=total_tuples,
+        # The paper: scaling stops at 8 PEs for 1 000-multiply tuples, so
+        # sigma = 8x one PE's rate -> 1000/8 = 125 multiplies per send.
+        splitter_cost_multiplies=125,
+    )
+
+
+# -------------------------------------------------------------------- Fig 10
+
+
+def fig10_config(
+    n_workers: int,
+    *,
+    dynamic: bool,
+    total_tuples: int = 400_000,
+) -> ExperimentConfig:
+    """Figure 10: 2-16 PEs, 10 000-multiply tuples, half the PEs 100x loaded.
+
+    The 100x multiplier makes separation of time scales critical: the host
+    speed is raised so a loaded service (0.1 s) still fits well inside the
+    1 s sampling interval.
+    """
+    speed = 1e7  # heavy service 0.1 s << 1 s interval
+    if dynamic:
+        schedule = LoadSchedule.half_loaded_until_emitted(
+            n_workers, 100.0, max(1, total_tuples // 8)
+        )
+    else:
+        schedule = LoadSchedule.half_loaded(n_workers, 100.0)
+    return ExperimentConfig(
+        name=f"fig10-{'dyn' if dynamic else 'static'}-{n_workers}",
+        n_workers=n_workers,
+        tuple_cost=10_000,
+        host_specs=[HostSpec("slow", cores=max(8, n_workers), thread_speed=speed)],
+        worker_host=[0] * n_workers,
+        load_schedule=schedule,
+        total_tuples=total_tuples,
+        # sigma = 20x one PE's rate: scaling continues through 16 PEs, as
+        # the paper's Figure 10 shows.
+        splitter_cost_multiplies=500,
+    )
+
+
+# -------------------------------------------------------------------- Fig 11
+
+
+def hetero_hosts(slow_speed: float = SLOW_SPEED) -> tuple[HostSpec, HostSpec]:
+    """The paper's slow (X5365-like) and fast (X5687-like) host pair."""
+    return HostSpec.slow(slow_speed), HostSpec.fast(slow_speed)
+
+
+def fig11_top_config(*, duration: float = 300.0) -> ExperimentConfig:
+    """Figure 11 (top): 2 PEs, 20 000-multiply tuples, fast + slow host.
+
+    Connection 1 goes to the fast host. The paper observes the split
+    stabilizing around 65/35 after brief oscillations.
+    """
+    slow, fast = hetero_hosts()
+    return ExperimentConfig(
+        name="fig11-top",
+        n_workers=2,
+        tuple_cost=20_000,
+        host_specs=[slow, fast],
+        worker_host=[1, 0],  # connection 1 -> fast, connection 2 -> slow
+        duration=duration,
+        # sigma comparable to the pair's aggregate capacity (~28.6/s).
+        splitter_cost_multiplies=7_000,
+        splitter_thread_speed=SLOW_SPEED,
+    )
+
+
+def fig11_bottom_config(
+    n_workers: int,
+    placement: str,
+    *,
+    total_tuples: int = 90_000,
+) -> ExperimentConfig:
+    """Figure 11 (bottom): 2-24 PEs across heterogeneous hosts.
+
+    ``placement`` is one of ``all-fast``, ``all-slow``, ``even``. "Even"
+    alternates PEs between the hosts until the slow host's 8 cores are
+    full, then the rest go to the fast host — at 24 PEs that is the
+    paper's 16-fast + 8-slow configuration.
+    """
+    slow, fast = hetero_hosts()
+    if placement == "all-fast":
+        worker_host = [1] * n_workers
+        specs = [slow, fast]
+    elif placement == "all-slow":
+        worker_host = [0] * n_workers
+        specs = [slow, fast]
+    elif placement == "even":
+        specs = [slow, fast]
+        worker_host = []
+        slow_used = 0
+        for i in range(n_workers):
+            if i % 2 == 0 and slow_used < 8:
+                worker_host.append(0)
+                slow_used += 1
+            else:
+                worker_host.append(1)
+    else:
+        raise ValueError(f"unknown placement {placement!r}")
+    return ExperimentConfig(
+        name=f"fig11-bottom-{placement}-{n_workers}",
+        n_workers=n_workers,
+        tuple_cost=20_000,
+        host_specs=specs,
+        worker_host=worker_host,
+        total_tuples=total_tuples,
+        # sigma = 500/s: above the best configuration (16 fast + 8 slow
+        # threads ~= 377/s) so host capacity gates, yet close enough that
+        # blocking rates stay informative for the balancer.
+        splitter_cost_multiplies=400,
+        splitter_thread_speed=SLOW_SPEED,
+        # Two capacity classes only 1.86x apart: clustering needs a finer
+        # threshold than the load-class experiments (log 1.86 ~= 0.62).
+        balancer=BalancerConfig(clustering=True, cluster_threshold=0.35),
+    )
+
+
+# --------------------------------------------------------------- Figs 12, 13
+
+
+def _clustering_balancer() -> BalancerConfig:
+    return BalancerConfig(clustering=True, cluster_threshold=1.0)
+
+
+def fig12_config(*, duration: float = 900.0) -> ExperimentConfig:
+    """Figure 12: 64 PEs, 60 000-multiply tuples, three load classes.
+
+    20 PEs at 100x, 20 at 5x, 24 unloaded; clustering on. The expected
+    dynamics: the 100x channels sort themselves out first, the 5x and
+    unloaded channels differentiate later, and the final clusters are pure
+    per class with weights ranked 100x < 5x < unloaded.
+
+    The time axis is stretched (5 s sampling) so the 100x service time
+    (0.3 s) stays well inside the interval; see the module docstring.
+    """
+    n = 64
+    speed = 2e7
+    loads = {j: 100.0 for j in range(20)} | {j: 5.0 for j in range(20, 40)}
+    return ExperimentConfig(
+        name="fig12",
+        n_workers=n,
+        tuple_cost=60_000,
+        host_specs=[HostSpec("big", cores=n, thread_speed=speed)],
+        worker_host=[0] * n,
+        load_schedule=LoadSchedule(initial=loads),
+        duration=duration,
+        sample_interval=5.0,
+        region=RegionParams(send_capacity=8, recv_capacity=8),
+        # sigma = 3_333/s: just above the point where the 5x class starts
+        # blocking at its fair share (so the 5x/1x classes stay
+        # distinguishable) and exactly at the trickle-safety boundary
+        # (resolution x the 100x PEs' 3.33/s rate; see DESIGN.md).
+        splitter_cost_multiplies=6_000,
+        balancer=_clustering_balancer(),
+    )
+
+
+def fig13_config(
+    n_workers: int,
+    *,
+    total_tuples: int = 1_200_000,
+) -> ExperimentConfig:
+    """Figure 13: 8-64 PEs, 60 000-multiply tuples, half 100x loaded.
+
+    The load is removed an eighth through; clustering on. The paper's
+    headline: at 32-64 PEs both LB variants beat RR by ~9x in execution
+    time, and LB-adaptive reaches higher final throughput than LB-static.
+    """
+    speed = 2e7
+    return ExperimentConfig(
+        name=f"fig13-{n_workers}",
+        n_workers=n_workers,
+        tuple_cost=60_000,
+        host_specs=[HostSpec("big", cores=max(8, n_workers), thread_speed=speed)],
+        worker_host=[0] * n_workers,
+        load_schedule=LoadSchedule.half_loaded_until_emitted(
+            n_workers, 100.0, max(1, total_tuples // 8)
+        ),
+        total_tuples=total_tuples,
+        sample_interval=5.0,
+        region=RegionParams(send_capacity=8, recv_capacity=8),
+        # sigma ~= 13.3k/s: the asymptotic LB-vs-RR execution-time ratio
+        # for half-100x-loaded PEs tends to (1/(8 r) + 7/(8 sigma)) /
+        # (1/(8 lambda_loaded) + 7/(8 sigma)) ~= 9, matching the paper's
+        # Figure 13; finite runs sit below that because the controller's
+        # convergence time is a larger share of a scaled-down run (see
+        # EXPERIMENTS.md).
+        splitter_cost_multiplies=1_500,
+        balancer=_clustering_balancer(),
+    )
+
+
+# ----------------------------------------------------------- Section 4.4
+
+
+def sec44_config(
+    base_cost: float,
+    *,
+    total_tuples: int = 40_000,
+) -> ExperimentConfig:
+    """The Section 4.4 in-text experiment: transport-level re-routing.
+
+    2 PEs, one 100x more expensive. The paper reports that re-routing
+    moves ~0.5% of tuples at base cost 1 000 (no improvement over RR) and
+    ~7.5% at base cost 10 000 (~20% improvement) — "too little, too late".
+
+    The driver of both numbers is how much of the run the OS buffers
+    absorb before blocking (the late signal) ever appears: by the time the
+    overloaded connection reports would-block, it already holds "two
+    system buffers worth" of 100x tuples, which the ordered merge must
+    still wait for. The paper never states its buffer sizes or totals, so
+    the buffer-to-run ratio is calibrated to land at the reported reroute
+    fractions; the claims under test are the qualitative ones (see
+    EXPERIMENTS.md).
+    """
+    speed = 1e7  # heavy service: 0.01 s / 0.1 s, both << 1 s interval
+    if base_cost <= 1_000:
+        buffer_tuples = int(total_tuples * 0.245)  # ~0.5% rerouted
+    else:
+        buffer_tuples = int(total_tuples * 0.21)  # ~7.5% rerouted
+    return ExperimentConfig(
+        name=f"sec44-{int(base_cost)}",
+        n_workers=2,
+        tuple_cost=base_cost,
+        host_specs=[HostSpec("slow", thread_speed=speed)],
+        worker_host=[0, 0],
+        load_schedule=LoadSchedule.static_load([0], 100.0),
+        total_tuples=total_tuples,
+        region=RegionParams(
+            send_capacity=buffer_tuples, recv_capacity=buffer_tuples
+        ),
+        splitter_cost_multiplies=125,
+    )
+
+
+@dataclass(slots=True, frozen=True)
+class FigureIndex:
+    """One row of the experiment index (see DESIGN.md section 4)."""
+
+    figure: str
+    description: str
+    bench: str
+
+
+FIGURES: list[FigureIndex] = [
+    FigureIndex("Fig. 2", "cumulative blocking time and rate", "bench_fig02_blocking_rate"),
+    FigureIndex("Fig. 5", "blocking rates at fixed splits", "bench_fig05_fixed_weights"),
+    FigureIndex("Fig. 7", "sample predictive functions", "bench_fig07_rate_functions"),
+    FigureIndex("Fig. 8 top", "3 PEs, one 100x loaded, in-depth", "bench_fig08_top_indepth_load"),
+    FigureIndex("Fig. 8 bottom", "3 equal PEs, drafting, in-depth", "bench_fig08_bottom_indepth_equal"),
+    FigureIndex("Fig. 9", "2-16 PEs, 10x load sweep", "bench_fig09_sweep_medium"),
+    FigureIndex("Fig. 10", "2-16 PEs, 100x load sweep", "bench_fig10_sweep_heavy"),
+    FigureIndex("Fig. 11 top", "fast+slow hosts, in-depth", "bench_fig11_top_hetero_indepth"),
+    FigureIndex("Fig. 11 bottom", "2-24 PEs across hetero hosts", "bench_fig11_bottom_hetero_sweep"),
+    FigureIndex("Fig. 12", "64 PEs, 3 load classes, clustering", "bench_fig12_clustering_indepth"),
+    FigureIndex("Fig. 13", "8-64 PEs, clustering sweep", "bench_fig13_clustering_sweep"),
+    FigureIndex("Sec. 4.4", "transport-level re-routing baseline", "bench_sec44_rerouting"),
+]

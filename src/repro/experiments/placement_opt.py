@@ -1,0 +1,86 @@
+"""Cluster-wide worker placement (the paper's Section 8 future work).
+
+The paper closes with: "Our future work will consider cluster-wide load
+balancing by assigning the parallel PE workers to many nodes." The local
+balancer can only divide traffic among the workers it is given; *where*
+those workers run bounds what it can achieve — Figure 11's punchline is
+that 16 fast + 8 slow beats both all-fast and half-half.
+
+This module provides that assignment step: a greedy marginal-capacity
+placement that is provably optimal for the concave host capacity model
+(each additional PE on a host contributes a non-increasing marginal
+capacity: full threads, then SMT threads, then nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import HostSpec
+from repro.util.validation import check_positive
+
+
+@dataclass(slots=True, frozen=True)
+class PlacementPlan:
+    """Result of a cluster-wide placement decision."""
+
+    #: Index into the host-spec list, per worker.
+    worker_host: list[int]
+    #: Number of workers placed on each host.
+    per_host: list[int]
+    #: Aggregate processing capacity in multiplies/sec.
+    total_capacity: float
+
+    def __len__(self) -> int:
+        return len(self.worker_host)
+
+
+def marginal_capacity(spec: HostSpec, placed: int) -> float:
+    """Capacity gained by placing one more PE on a host of type ``spec``."""
+    host = spec.build()
+    return host.total_capacity(placed + 1) - host.total_capacity(placed)
+
+
+def plan_placement(host_specs: list[HostSpec], n_workers: int) -> PlacementPlan:
+    """Assign ``n_workers`` PEs across hosts, maximizing total capacity.
+
+    Greedy by marginal capacity: each PE goes to the host where it adds
+    the most. Because every host's capacity is concave in its PE count
+    (full threads -> discounted SMT threads -> zero under
+    oversubscription), the greedy assignment maximizes total capacity;
+    ties break toward the lower host index, making plans deterministic.
+
+    Capacity-optimal placement is the right objective *given* the paper's
+    dynamic load balancer, which can exploit unequal per-PE speeds; under
+    plain round-robin a slow co-placed PE gates the whole region instead
+    (Figure 11's Even-RR row).
+    """
+    if not host_specs:
+        raise ValueError("host_specs must be non-empty")
+    check_positive("n_workers", n_workers)
+    per_host = [0] * len(host_specs)
+    worker_host: list[int] = []
+    for _ in range(n_workers):
+        best = max(
+            range(len(host_specs)),
+            key=lambda h: (marginal_capacity(host_specs[h], per_host[h]), -h),
+        )
+        per_host[best] += 1
+        worker_host.append(best)
+    total = sum(
+        spec.build().total_capacity(count)
+        for spec, count in zip(host_specs, per_host)
+    )
+    return PlacementPlan(
+        worker_host=worker_host, per_host=per_host, total_capacity=total
+    )
+
+
+def capacity_of(host_specs: list[HostSpec], per_host: list[int]) -> float:
+    """Aggregate capacity of an explicit per-host assignment."""
+    if len(per_host) != len(host_specs):
+        raise ValueError("per_host must match host_specs")
+    return sum(
+        spec.build().total_capacity(count)
+        for spec, count in zip(host_specs, per_host)
+    )

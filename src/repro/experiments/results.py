@@ -1,0 +1,107 @@
+"""Result rows and tables for the sweep experiments.
+
+The paper's Figures 9, 10, 11 (bottom) and 13 are grids over the number of
+PEs with a handful of policies, reporting (a) total execution time
+normalized to a baseline and (b) absolute final throughput. These helpers
+hold, normalize, and render those grids as the textual tables the bench
+harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import RunResult
+
+
+@dataclass(slots=True)
+class SweepRow:
+    """One cell of a sweep grid."""
+
+    n_pes: int
+    policy: str
+    execution_time: float | None
+    final_throughput: float
+    normalized_time: float | None = None
+
+    @classmethod
+    def from_result(cls, result: RunResult) -> "SweepRow":
+        return cls(
+            n_pes=result.n_workers,
+            policy=result.policy,
+            execution_time=result.execution_time,
+            final_throughput=result.final_throughput(),
+        )
+
+
+def normalize_to(rows: list[SweepRow], baseline_policy: str) -> list[SweepRow]:
+    """Fill ``normalized_time`` relative to ``baseline_policy`` per PE count.
+
+    Matches the paper: "All execution times are normalized to Oracle* for
+    that run" (Figures 9/10/13) or to Even-RR (Figure 11). Rows whose
+    baseline or own time is missing get ``None``.
+    """
+    baseline: dict[int, float] = {}
+    for row in rows:
+        if row.policy == baseline_policy and row.execution_time is not None:
+            baseline[row.n_pes] = row.execution_time
+    for row in rows:
+        base = baseline.get(row.n_pes)
+        if base is not None and row.execution_time is not None and base > 0:
+            row.normalized_time = row.execution_time / base
+        else:
+            row.normalized_time = None
+    return rows
+
+
+def format_sweep_table(
+    rows: list[SweepRow],
+    *,
+    title: str = "",
+    throughput_unit: float = 1.0,
+) -> str:
+    """Render a sweep as an aligned text table.
+
+    ``throughput_unit`` divides final throughput for display (the paper
+    reports millions of tuples per second; benches usually use 1.0 since
+    simulated rates are scaled down).
+    """
+    policies: list[str] = []
+    for row in rows:
+        if row.policy not in policies:
+            policies.append(row.policy)
+    sizes = sorted({row.n_pes for row in rows})
+    by_key = {(row.n_pes, row.policy): row for row in rows}
+
+    def fmt_time(row: SweepRow | None) -> str:
+        if row is None or row.execution_time is None:
+            return "-"
+        if row.normalized_time is not None:
+            return f"{row.normalized_time:.2f}x"
+        return f"{row.execution_time:.1f}s"
+
+    def fmt_tput(row: SweepRow | None) -> str:
+        if row is None:
+            return "-"
+        return f"{row.final_throughput / throughput_unit:.1f}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = ["PEs"] + [f"{p}(time)" for p in policies] + [
+        f"{p}(tput)" for p in policies
+    ]
+    table = [header]
+    for size in sizes:
+        cells = [str(size)]
+        cells += [fmt_time(by_key.get((size, p))) for p in policies]
+        cells += [fmt_tput(by_key.get((size, p))) for p in policies]
+        table.append(cells)
+    widths = [
+        max(len(row[col]) for row in table) for col in range(len(header))
+    ]
+    for row in table:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

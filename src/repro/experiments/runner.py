@@ -1,0 +1,322 @@
+"""Execute one experiment configuration under one policy.
+
+``run_experiment(config, policy)`` builds a fresh simulator + region,
+arms the external-load schedule, attaches the chosen policy —
+
+* ``"rr"``          — round-robin, no balancing (the paper's ``RR``);
+* ``"reroute"``     — transport-level re-routing (the Section 4.4 baseline);
+* ``"lb-static"``   — the model without exploration decay;
+* ``"lb-adaptive"`` — the full model (10% decay);
+* ``"oracle"``      — ``Oracle*`` capacity-proportional weights, switched
+  exactly at load-change times
+
+— then samples everything once per ``config.sample_interval`` (the paper
+samples each second) and returns a :class:`RunResult` with the scalar
+metrics and time series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.core.balancer import BalancerConfig, LoadBalancer, even_split
+from repro.core.blocking_rate import BlockingRateEstimator
+from repro.core.policies import (
+    OraclePolicy,
+    ReroutingPolicy,
+    RoundRobinPolicy,
+    WeightedPolicy,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.oracle import (
+    oracle_schedule,
+    proportional_weights,
+    worker_capacities,
+)
+from repro.sim.engine import Simulator
+from repro.streams.region import ParallelRegion
+from repro.streams.sources import FiniteSource, InfiniteSource, constant_cost
+from repro.util.timeseries import TimeSeries
+
+POLICIES = ("rr", "reroute", "lb-static", "lb-adaptive", "oracle", "fixed")
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything measured in one run."""
+
+    name: str
+    policy: str
+    n_workers: int
+    #: Simulated time at which the finite tuple budget drained (None when
+    #: the run had no budget or hit the horizon first).
+    execution_time: float | None
+    #: Whether a finite budget drained before the horizon.
+    completed: bool
+    #: Tuples emitted by the merger.
+    emitted: int
+    #: Simulated time when the run stopped.
+    sim_time: float
+    #: Region throughput per sampling interval (tuples/sec).
+    throughput_series: TimeSeries
+    #: Mean end-to-end region latency of tuples emitted per interval (s).
+    latency_series: TimeSeries
+    #: Allocation weight per connection over time (units of 1/resolution).
+    weight_series: list[TimeSeries]
+    #: Smoothed blocking rate per connection over time (sec blocked / sec).
+    rate_series: list[TimeSeries]
+    #: Clustering decisions over time: (time, clusters) snapshots.
+    cluster_snapshots: list[tuple[float, list[list[int]]]]
+    #: Tuples the splitter sent to a connection other than the routed one.
+    rerouted: int
+    #: Total tuples the splitter pushed into connections.
+    total_sent: int
+    #: Number of splitter blocking episodes.
+    block_events: int
+    #: Final allocation weights.
+    final_weights: list[int] = field(default_factory=list)
+
+    def final_throughput(self, fraction: float = 0.1) -> float:
+        """Mean throughput over the trailing ``fraction`` of the run.
+
+        The paper's "final throughput ... indicative of the performance
+        the configuration would achieve if it ran longer".
+        """
+        if not self.throughput_series:
+            return 0.0
+        return self.throughput_series.final_mean(fraction)
+
+    def reroute_fraction(self) -> float:
+        """Fraction of tuples re-routed (Section 4.4's headline numbers)."""
+        return self.rerouted / self.total_sent if self.total_sent else 0.0
+
+    def final_latency(self, fraction: float = 0.1) -> float:
+        """Mean region latency over the trailing ``fraction`` of the run."""
+        if not self.latency_series:
+            return 0.0
+        return self.latency_series.final_mean(fraction)
+
+    def mean_weight(self, connection: int, start: float, end: float) -> float:
+        """Average allocation weight of ``connection`` over a time window."""
+        window = self.weight_series[connection].window(start, end)
+        return window.mean()
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        lines = [
+            f"run {self.name!r} policy={self.policy} workers={self.n_workers}",
+            f"  emitted={self.emitted} tuples in {self.sim_time:.1f}s "
+            f"(completed={self.completed})",
+        ]
+        if self.execution_time is not None:
+            lines.append(f"  execution_time={self.execution_time:.2f}s")
+        lines.append(
+            f"  final_throughput={self.final_throughput():.1f} tuples/s, "
+            f"block_events={self.block_events}, "
+            f"rerouted={self.reroute_fraction():.2%}"
+        )
+        if self.final_weights:
+            lines.append(f"  final_weights={self.final_weights}")
+        return "\n".join(lines)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    policy: str,
+    *,
+    record_series: bool = True,
+    counter_reset_interval: float | None = None,
+    fixed_weights: list[int] | None = None,
+) -> RunResult:
+    """Run ``config`` under ``policy`` and return the measurements.
+
+    ``policy="fixed"`` applies ``fixed_weights`` for the whole run with no
+    controller — the Figure 5 static-split experiments.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+    if (policy == "fixed") != (fixed_weights is not None):
+        raise ValueError("fixed_weights is required iff policy='fixed'")
+
+    sim = Simulator()
+    placement = config.build_placement()
+    cost_model = constant_cost(config.tuple_cost)
+    if config.total_tuples is not None:
+        source = FiniteSource(config.total_tuples, cost_model)
+    else:
+        source = InfiniteSource(cost_model)
+
+    n = config.n_workers
+    resolution = config.balancer.resolution
+    balancer: LoadBalancer | None = None
+    oracle: OraclePolicy | None = None
+
+    if policy == "rr":
+        routing = RoundRobinPolicy(n)
+    elif policy == "fixed":
+        assert fixed_weights is not None
+        routing = WeightedPolicy(fixed_weights)
+    elif policy == "reroute":
+        routing = ReroutingPolicy(n)
+    elif policy == "oracle":
+        oracle = OraclePolicy(oracle_schedule(config, resolution))
+        routing = oracle
+    else:
+        balancer_config = config.balancer
+        if policy == "lb-static" and balancer_config.decay != 0.0:
+            balancer_config = dataclasses.replace(balancer_config, decay=0.0)
+        balancer = LoadBalancer(n, balancer_config)
+        routing = WeightedPolicy(balancer.weights)
+
+    region = ParallelRegion(
+        sim,
+        source,
+        routing,
+        placement,
+        params=config.region,
+        load_multipliers=config.load_schedule.initial_multipliers(n),
+        ordered=config.ordered,
+    )
+    config.load_schedule.arm(sim, region.workers)
+
+    if oracle is not None:
+        for when, weights in oracle.changes_after(0.0):
+            sim.call_at(
+                when, lambda ws=weights: oracle.set_weights(ws)
+            )
+
+    # Progress-triggered load changes (the "an eighth through the
+    # experiment" removals of the dynamic sweeps). Oracle* recomputes its
+    # capacity-proportional weights at the same trigger — exactly the
+    # paper's "it will change the allocation weights earlier than is
+    # optimal" behaviour, since queued backlog still reflects the old load.
+    count_events = sorted(
+        config.load_schedule.count_events, key=lambda e: e.emitted
+    )
+    if count_events:
+        multipliers = config.load_schedule.initial_multipliers(n)
+        pending = list(count_events)
+
+        def on_progress(_tup) -> None:
+            fired = False
+            while pending and region.merger.emitted >= pending[0].emitted:
+                event = pending.pop(0)
+                multipliers[event.worker] = event.multiplier
+                region.workers[event.worker].set_load_multiplier(
+                    event.multiplier
+                )
+                fired = True
+            if fired and oracle is not None:
+                capacities = worker_capacities(
+                    config, 0.0, multipliers=multipliers
+                )
+                oracle.set_weights(
+                    proportional_weights(capacities, resolution)
+                )
+            if not pending:
+                region.merger.on_emit = None
+
+        region.merger.on_emit = on_progress
+
+    # Recording infrastructure. Every policy gets a blocking-rate view so
+    # in-depth figures can be drawn for baselines too; LB policies reuse
+    # the balancer's own (identically configured) estimator.
+    observer = (
+        None
+        if balancer is not None
+        else BlockingRateEstimator(n, alpha=config.balancer.rate_alpha)
+    )
+    throughput_series = TimeSeries("throughput")
+    latency_series = TimeSeries("latency")
+    weight_series = [TimeSeries(f"weight[{j}]") for j in range(n)]
+    rate_series = [TimeSeries(f"blocking_rate[{j}]") for j in range(n)]
+    cluster_snapshots: list[tuple[float, list[list[int]]]] = []
+    last_emitted = 0
+    last_latency_sum = 0.0
+    last_latency_count = 0
+
+    def current_weights() -> list[int]:
+        if balancer is not None:
+            return balancer.weights
+        if isinstance(routing, WeightedPolicy):
+            return routing.weights
+        return even_split(resolution, n)
+
+    def sample() -> None:
+        nonlocal last_emitted, last_latency_sum, last_latency_count
+        now = sim.now
+        emitted = region.merger.emitted
+        throughput_series.record(
+            now, (emitted - last_emitted) / config.sample_interval
+        )
+        last_emitted = emitted
+        latency_delta = region.merger.latency_seconds - last_latency_sum
+        count_delta = region.merger.latency_count - last_latency_count
+        if count_delta > 0:
+            latency_series.record(now, latency_delta / count_delta)
+        last_latency_sum = region.merger.latency_seconds
+        last_latency_count = region.merger.latency_count
+
+        counters = [c.read() for c in region.blocking_counters]
+        if balancer is not None:
+            new_weights = balancer.update(now, counters)
+            if new_weights is not None:
+                routing.set_weights(new_weights)
+            rates = balancer.last_rates
+            if config.balancer.clustering:
+                cluster_snapshots.append((now, balancer.last_clusters))
+        else:
+            assert observer is not None
+            observer.sample(now, counters)
+            rates = observer.rates
+
+        if record_series:
+            weights = current_weights()
+            for j in range(n):
+                weight_series[j].record(now, weights[j])
+                rate_series[j].record(now, rates[j])
+
+    sim.call_every(config.sample_interval, sample)
+
+    if counter_reset_interval is not None:
+        def reset_counters() -> None:
+            for counter in region.blocking_counters:
+                counter.reset()
+
+        sim.call_every(counter_reset_interval, reset_counters)
+
+    completed = False
+
+    if config.total_tuples is not None:
+        def on_done() -> None:
+            nonlocal completed
+            completed = True
+            sim.stop()
+
+        region.merger.on_completion(config.total_tuples, on_done)
+
+    region.start()
+    sim.run_until(config.horizon())
+
+    execution_time = (
+        region.merger.last_emit_time if completed else None
+    )
+    return RunResult(
+        name=config.name,
+        policy=policy,
+        n_workers=n,
+        execution_time=execution_time,
+        completed=completed,
+        emitted=region.merger.emitted,
+        sim_time=sim.now,
+        throughput_series=throughput_series,
+        latency_series=latency_series,
+        weight_series=weight_series,
+        rate_series=rate_series,
+        cluster_snapshots=cluster_snapshots,
+        rerouted=region.splitter.rerouted,
+        total_sent=region.splitter.tuples_sent,
+        block_events=region.splitter.block_events,
+        final_weights=current_weights(),
+    )

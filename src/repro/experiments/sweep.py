@@ -1,0 +1,40 @@
+"""Run a grid of (PE count x policy) experiments.
+
+This is the engine behind Figures 9, 10, 11 (bottom) and 13: for every
+region width, run every policy on an otherwise identical configuration,
+collect execution time and final throughput, and normalize times to the
+figure's baseline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import SweepRow, normalize_to
+from repro.experiments.runner import run_experiment
+
+ConfigFactory = Callable[[int], ExperimentConfig]
+"""Builds the configuration for a given PE count."""
+
+
+def run_sweep(
+    config_factory: ConfigFactory,
+    pe_counts: Sequence[int],
+    policies: Sequence[str],
+    *,
+    normalize_baseline: str | None = "oracle",
+    record_series: bool = False,
+) -> list[SweepRow]:
+    """Run the full grid and return one row per (PE count, policy)."""
+    rows: list[SweepRow] = []
+    for n_pes in pe_counts:
+        for policy in policies:
+            config = config_factory(n_pes)
+            result = run_experiment(
+                config, policy, record_series=record_series
+            )
+            rows.append(SweepRow.from_result(result))
+    if normalize_baseline is not None:
+        normalize_to(rows, normalize_baseline)
+    return rows

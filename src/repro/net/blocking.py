@@ -1,0 +1,60 @@
+"""Cumulative blocking-time accounting (Section 3 of the paper).
+
+The data transport layer keeps, per connection, a counter of the total time
+the sender has spent blocked on that connection. The counter "constantly
+increases until it is periodically reset by the data transport layer"
+(Figure 2); the load balancer samples it every second and differences
+successive samples to estimate the blocking *rate*.
+
+:class:`BlockingCounter` is that counter. It is shared by the simulated and
+the real-socket transports, and read (never written) by the controller via
+:class:`repro.core.blocking_rate.BlockingRateEstimator`.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_non_negative
+
+
+class BlockingCounter:
+    """Cumulative blocking time for one connection, in seconds.
+
+    Also tracks the number of blocking episodes and lifetime totals (which
+    survive resets), for diagnostics and for the "blocking is a rare event"
+    analysis of Section 4.4.
+    """
+
+    __slots__ = ("cumulative_seconds", "episodes", "lifetime_seconds", "lifetime_episodes")
+
+    def __init__(self) -> None:
+        #: Seconds blocked since the last reset (what the sampler reads).
+        self.cumulative_seconds = 0.0
+        #: Blocking episodes since the last reset.
+        self.episodes = 0
+        #: Seconds blocked since construction (never reset).
+        self.lifetime_seconds = 0.0
+        #: Episodes since construction (never reset).
+        self.lifetime_episodes = 0
+
+    def add(self, seconds: float) -> None:
+        """Record one blocking episode of ``seconds`` duration."""
+        check_non_negative("seconds", seconds)
+        self.cumulative_seconds += seconds
+        self.episodes += 1
+        self.lifetime_seconds += seconds
+        self.lifetime_episodes += 1
+
+    def read(self) -> float:
+        """Current cumulative value (what the periodic sampler reads)."""
+        return self.cumulative_seconds
+
+    def reset(self) -> None:
+        """Periodic reset by the transport layer (Figure 2's sawtooth)."""
+        self.cumulative_seconds = 0.0
+        self.episodes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BlockingCounter(cumulative={self.cumulative_seconds:.6f}s, "
+            f"episodes={self.episodes})"
+        )

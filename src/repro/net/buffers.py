@@ -1,0 +1,101 @@
+"""Bounded FIFO buffers.
+
+These model the OS socket buffers that make blocking a *late* indicator of
+congestion (Section 4.4): "By the time a TCP connection for an overloaded
+PE blocks, it already has at least two system buffers worth of unprocessed
+tuples (locally on the splitter and remotely on the worker)."
+
+Capacity is measured in tuples. Real TCP buffers are sized in bytes, but for
+a fixed-size tuple stream the two are equivalent up to a constant, and tuple
+units keep the simulator's accounting exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, TypeVar
+
+from repro.util.validation import check_positive
+
+T = TypeVar("T")
+
+
+class BufferFullError(RuntimeError):
+    """Unconditional push into a full buffer (a caller bug, never expected)."""
+
+
+class BoundedBuffer(Generic[T]):
+    """FIFO queue with a hard capacity and optional space reservations.
+
+    Reservations model in-flight data: a transfer claims space in the
+    receive buffer *when it starts* (TCP advertises the window before the
+    bytes arrive), and converts the reservation to a real entry on
+    delivery.
+    """
+
+    __slots__ = ("capacity", "_items", "_reserved")
+
+    def __init__(self, capacity: int) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self._items: deque[T] = deque()
+        self._reserved = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def reserved(self) -> int:
+        """Number of outstanding space reservations."""
+        return self._reserved
+
+    @property
+    def free_slots(self) -> int:
+        """Slots available for new pushes or reservations."""
+        return self.capacity - len(self._items) - self._reserved
+
+    def is_full(self) -> bool:
+        """True when no push or reservation can be accepted."""
+        return self.free_slots <= 0
+
+    def try_push(self, item: T) -> bool:
+        """Append ``item`` if there is space; return whether it was taken."""
+        if self.is_full():
+            return False
+        self._items.append(item)
+        return True
+
+    def push(self, item: T) -> None:
+        """Append ``item``; raises :class:`BufferFullError` when full."""
+        if not self.try_push(item):
+            raise BufferFullError(
+                f"buffer full (capacity={self.capacity}, reserved={self._reserved})"
+            )
+
+    def reserve(self) -> None:
+        """Claim one slot for an in-flight item."""
+        if self.is_full():
+            raise BufferFullError("cannot reserve space in a full buffer")
+        self._reserved += 1
+
+    def push_reserved(self, item: T) -> None:
+        """Deliver an item into a slot previously claimed by :meth:`reserve`."""
+        if self._reserved <= 0:
+            raise BufferFullError("push_reserved without a reservation")
+        self._reserved -= 1
+        self._items.append(item)
+
+    def pop(self) -> T:
+        """Remove and return the oldest item."""
+        if not self._items:
+            raise IndexError("pop from empty buffer")
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        """The oldest item, without removing it."""
+        if not self._items:
+            raise IndexError("peek into empty buffer")
+        return self._items[0]

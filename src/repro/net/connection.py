@@ -1,0 +1,180 @@
+"""A simulated TCP connection between the splitter and one worker PE.
+
+The model mirrors what matters about TCP for the paper's argument:
+
+* a bounded **send buffer** on the splitter's host and a bounded **receive
+  buffer** on the worker's host (two "system buffers" of queued tuples —
+  exactly the latency that makes blocking a *late* congestion signal);
+* **flow control**: data moves from send to receive buffer only while the
+  receive buffer has space, so a slow consumer backs pressure up to the
+  sender;
+* a **non-blocking send** (`send_nowait`, the simulator's ``MSG_DONTWAIT``)
+  that reports would-block instead of waiting, plus a wakeup for a blocked
+  sender (the simulator's ``select``);
+* a per-connection :class:`~repro.net.blocking.BlockingCounter` that the
+  *sender* charges with the time it spent blocked.
+
+An optional per-tuple ``wire_delay`` models network latency. The default of
+zero matches the paper's InfiniBand cluster, where propagation is negligible
+next to buffer-induced queueing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+from repro.net.blocking import BlockingCounter
+from repro.net.buffers import BoundedBuffer
+from repro.util.validation import check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class SimulatedConnection:
+    """One splitter-to-worker connection inside the event simulator."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        conn_id: int,
+        *,
+        send_capacity: int = 32,
+        recv_capacity: int = 32,
+        wire_delay: float = 0.0,
+    ) -> None:
+        check_non_negative("wire_delay", wire_delay)
+        self.sim = sim
+        self.conn_id = conn_id
+        self.wire_delay = wire_delay
+        self._send_buffer: BoundedBuffer[Any] = BoundedBuffer(send_capacity)
+        self._recv_buffer: BoundedBuffer[Any] = BoundedBuffer(recv_capacity)
+        #: Cumulative blocking time charged by the sender (Section 3).
+        self.blocking = BlockingCounter()
+        #: Called (with no arguments) each time a tuple lands in the
+        #: receive buffer; set by the worker PE.
+        self.on_deliver: Callable[[], None] | None = None
+        self._send_space_waiter: Callable[[], None] | None = None
+        self._pumping = False
+        #: Tuples accepted into the send buffer since construction.
+        self.tuples_sent = 0
+        #: Tuples that have landed in the receive buffer since construction.
+        self.tuples_delivered = 0
+
+    # ----------------------------------------------------------------- send
+
+    def can_send(self) -> bool:
+        """Whether a ``send_nowait`` would currently succeed."""
+        return not self._send_buffer.is_full()
+
+    def send_nowait(self, item: Any) -> bool:
+        """Non-blocking send: accept ``item`` or report would-block.
+
+        This is the simulator's ``send(..., MSG_DONTWAIT)``. Returns
+        ``False`` when the send buffer is full (the caller may then elect
+        to block and charge :attr:`blocking`, as the paper's splitter
+        does).
+        """
+        if not self._send_buffer.try_push(item):
+            return False
+        self.tuples_sent += 1
+        self._pump()
+        return True
+
+    def wait_for_send_space(self, callback: Callable[[], None]) -> None:
+        """Register a one-shot wakeup for when the send buffer has space.
+
+        The simulator's ``select``: the blocked sender parks here and is
+        called back the instant a slot frees. Only one waiter may be
+        outstanding (the splitter is single-threaded — the root cause of
+        drafting, Section 4.2).
+        """
+        if self._send_space_waiter is not None:
+            raise RuntimeError(f"connection {self.conn_id} already has a waiter")
+        if self.can_send():
+            raise RuntimeError("waiting for send space that is already available")
+        self._send_space_waiter = callback
+
+    # -------------------------------------------------------------- receive
+
+    def recv_available(self) -> int:
+        """Tuples currently waiting in the receive buffer."""
+        return len(self._recv_buffer)
+
+    def take(self) -> Any:
+        """Remove and return the oldest received tuple (worker side)."""
+        item = self._recv_buffer.pop()
+        self._pump()
+        return item
+
+    # ------------------------------------------------------------ inspection
+
+    def queued_tuples(self) -> int:
+        """Total tuples buffered in the connection (send + in flight + recv).
+
+        This is the "at least two system buffers worth of unprocessed
+        tuples" of Section 4.4.
+        """
+        return (
+            len(self._send_buffer)
+            + self._recv_buffer.reserved
+            + len(self._recv_buffer)
+        )
+
+    # -------------------------------------------------------------- internal
+
+    def _pump(self) -> None:
+        """Move tuples from send to receive buffer while flow control allows.
+
+        Reentrant calls (a delivery callback that synchronously takes a
+        tuple, which frees receive space) are flattened into the outer
+        loop via the ``_pumping`` guard.
+        """
+        if self._pumping:
+            return
+        self._pumping = True
+        freed_send_space = False
+        try:
+            while self._send_buffer and not self._recv_buffer.is_full():
+                item = self._send_buffer.pop()
+                freed_send_space = True
+                if self.wire_delay == 0.0:
+                    self._recv_buffer.push(item)
+                    self.tuples_delivered += 1
+                    if self.on_deliver is not None:
+                        self.on_deliver()
+                else:
+                    self._recv_buffer.reserve()
+                    self.sim.call_after(
+                        self.wire_delay, lambda it=item: self._arrive(it)
+                    )
+        finally:
+            self._pumping = False
+        if freed_send_space:
+            self._wake_sender()
+
+    def _arrive(self, item: Any) -> None:
+        """Complete a delayed in-flight transfer."""
+        self._recv_buffer.push_reserved(item)
+        self.tuples_delivered += 1
+        if self.on_deliver is not None:
+            self.on_deliver()
+        # Delivery itself frees no send space, but the callback may have
+        # consumed tuples; let flow control catch up.
+        self._pump()
+
+    def _wake_sender(self) -> None:
+        """Fire the parked sender, if any and if space truly exists."""
+        if self._send_space_waiter is None or not self.can_send():
+            return
+        waiter = self._send_space_waiter
+        self._send_space_waiter = None
+        waiter()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SimulatedConnection(id={self.conn_id}, "
+            f"send={len(self._send_buffer)}/{self._send_buffer.capacity}, "
+            f"recv={len(self._recv_buffer)}/{self._recv_buffer.capacity})"
+        )

@@ -1,0 +1,148 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulator` owns the virtual clock and the event queue. Entities
+(splitter, connections, worker PEs, merger, samplers) are plain objects that
+schedule callbacks on the simulator; there is no thread or coroutine
+machinery, which keeps runs deterministic and fast.
+
+Time is in *simulated seconds*. The paper reports everything against
+elapsed seconds, so simulated seconds preserve every reported ratio.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.sim.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Simulator:
+    """Deterministic event-driven simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.call_at(1.0, lambda: ...)
+        sim.call_after(0.5, lambda: ...)
+        sim.run_until(10.0)
+    """
+
+    __slots__ = ("_queue", "_now", "_running", "_stopped", "events_processed")
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        #: Total events fired so far; useful for performance reporting.
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        return self._queue.push(time, callback)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self._queue.push(self._now + delay, callback)
+
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start: float | None = None,
+    ) -> Callable[[], None]:
+        """Schedule ``callback`` every ``interval`` seconds.
+
+        The first firing is at ``start`` (default: one interval from now).
+        Returns a zero-argument function that cancels the repetition.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive: {interval}")
+        state: dict[str, Event | None] = {"event": None}
+        active = True
+
+        def fire() -> None:
+            callback()
+            if active:
+                state["event"] = self.call_after(interval, fire)
+
+        first = start if start is not None else self._now + interval
+        state["event"] = self.call_at(first, fire)
+
+        def cancel() -> None:
+            nonlocal active
+            active = False
+            event = state["event"]
+            if event is not None:
+                event.cancel()
+
+        return cancel
+
+    def stop(self) -> None:
+        """Request the current :meth:`run_until` loop to return."""
+        self._stopped = True
+
+    def run_until(self, end_time: float) -> None:
+        """Fire events in order until the clock reaches ``end_time``.
+
+        The clock is left exactly at ``end_time`` (even if the queue drains
+        earlier), so back-to-back ``run_until`` calls behave like one long
+        run.
+        """
+        if self._running:
+            raise SimulationError("run_until is not reentrant")
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time} is before now {self._now}"
+            )
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                event = self._queue.pop()
+                assert event is not None  # peek said there was one
+                self._now = event.time
+                self.events_processed += 1
+                event.callback()
+            if not self._stopped:
+                self._now = end_time
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_time: float) -> None:
+        """Run until the queue drains, but never past ``max_time``."""
+        if self._running:
+            raise SimulationError("run_until_idle is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > max_time:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                self.events_processed += 1
+                event.callback()
+        finally:
+            self._running = False

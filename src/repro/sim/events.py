@@ -1,0 +1,67 @@
+"""Event and event-queue primitives for the discrete-event engine.
+
+Determinism matters: two events scheduled for the same instant fire in the
+order they were scheduled (FIFO tie-break on a monotone sequence number).
+Every experiment in the repository is therefore reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, seq)``; ``seq`` is the global scheduling order,
+    so simultaneous events fire FIFO. A cancelled event stays in the heap
+    but is skipped when popped (lazy deletion, the standard heapq idiom).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects with lazy cancellation."""
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        # May overcount by cancelled events; exactness is not needed by
+        # callers (they only test emptiness via pop()).
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at ``time`` and return its handle."""
+        event = Event(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,59 @@
+"""Streaming runtime substrate (the simulated IBM Streams dataplane).
+
+The paper's system executes SPL applications as graphs of processing
+elements (PEs) connected by tuple streams. This package models the part of
+that runtime the paper evaluates: an ordered **data-parallel region** —
+
+    source -> splitter == N connections ==> worker PEs ==> ordered merger -> sink
+
+with a single-threaded splitter, bounded per-connection buffers
+(:mod:`repro.net`), stateless workers whose service time follows an
+integer-multiply cost model, and a merger that restores sequential
+semantics. Backpressure and drafting are emergent properties of this model,
+not scripted behaviours; tests assert they emerge.
+"""
+
+from repro.streams.application import Application, ParallelRegionHandle
+from repro.streams.graph import GraphError, StreamGraph
+from repro.streams.hosts import Host, Placement
+from repro.streams.merger import OrderedMerger, UnorderedMerger
+from repro.streams.operators import (
+    BurstySourceOp,
+    Filter,
+    Functor,
+    Operator,
+    PassThrough,
+    SinkOp,
+    SourceOp,
+)
+from repro.streams.pe import WorkerPE
+from repro.streams.region import ParallelRegion, RegionParams
+from repro.streams.sources import FiniteSource, InfiniteSource, TupleSource
+from repro.streams.splitter import Splitter
+from repro.streams.tuples import StreamTuple
+
+__all__ = [
+    "Application",
+    "BurstySourceOp",
+    "ParallelRegionHandle",
+    "GraphError",
+    "StreamGraph",
+    "Filter",
+    "Functor",
+    "Operator",
+    "PassThrough",
+    "SinkOp",
+    "SourceOp",
+    "UnorderedMerger",
+    "Host",
+    "Placement",
+    "OrderedMerger",
+    "WorkerPE",
+    "ParallelRegion",
+    "RegionParams",
+    "FiniteSource",
+    "InfiniteSource",
+    "TupleSource",
+    "Splitter",
+    "StreamTuple",
+]

@@ -1,0 +1,605 @@
+"""Compile a :class:`~repro.streams.graph.StreamGraph` onto the simulator.
+
+This is the runtime of paper Section 2: every operator becomes a
+processing element (PE) with its own thread of control; every stream
+becomes a bounded, flow-controlled connection; operators marked parallel
+expand into splitter -> replicas -> merger. Backpressure propagates end to
+end: a PE blocked sending downstream stops consuming upstream, exactly the
+mechanism the paper's blocking-rate metric taps.
+
+Topology of a compiled parallel region (compare the paper's Figure 1):
+
+    upstream ──► SplitterPE ══ width connections ══► replica PEs ══► MergerPE ──► downstream
+
+The splitter re-stamps *region-local* sequence numbers on entry (wrapping
+the original tuple) and the merger restores that arrival order before
+unwrapping — sequential semantics without constraining the rest of the
+graph. Attach the paper's controller to any region with
+:meth:`Application.enable_load_balancing`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.balancer import BalancerConfig, LoadBalancer
+from repro.core.policies import RoundRobinPolicy, WeightedPolicy
+from repro.net.connection import SimulatedConnection
+from repro.streams.graph import StreamGraph
+from repro.streams.hosts import Host
+from repro.streams.operators import Operator, SinkOp, SourceOp
+from repro.streams.tuples import StreamTuple
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.blocking import BlockingCounter
+    from repro.sim.engine import Simulator
+
+
+class _EmittingPE:
+    """Shared machinery: emit a tuple to every output, blocking as needed."""
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.outputs: list[SimulatedConnection] = []
+        self._emit_tuple: StreamTuple | None = None
+        self._emit_index = 0
+        #: Seconds spent blocked sending downstream.
+        self.blocked_seconds = 0.0
+        self._block_start: float | None = None
+
+    def _begin_emit(self, tup: StreamTuple) -> bool:
+        """Start sending ``tup`` to all outputs; True if done synchronously."""
+        self._emit_tuple = tup
+        self._emit_index = 0
+        return self._continue_emit()
+
+    def _continue_emit(self) -> bool:
+        assert self._emit_tuple is not None
+        while self._emit_index < len(self.outputs):
+            conn = self.outputs[self._emit_index]
+            if conn.send_nowait(self._emit_tuple):
+                self._emit_index += 1
+                continue
+            self._block_start = self.sim.now
+            conn.wait_for_send_space(self._on_send_space)
+            return False
+        self._emit_tuple = None
+        return True
+
+    def _on_send_space(self) -> None:
+        assert self._block_start is not None
+        blocked = self.sim.now - self._block_start
+        self.blocked_seconds += blocked
+        self.outputs[self._emit_index].blocking.add(blocked)
+        self._block_start = None
+        if self._continue_emit():
+            self._after_emit()
+
+    def _after_emit(self) -> None:
+        """Hook: emission finished after having blocked."""
+        raise NotImplementedError
+
+
+class SourcePE(_EmittingPE):
+    """Drives a :class:`SourceOp`: produce, emit, repeat."""
+
+    def __init__(
+        self, sim: "Simulator", source: SourceOp, host: Host
+    ) -> None:
+        super().__init__(sim, source.name)
+        self.source = source
+        self.host = host
+        host.place(self)
+        self.finished = False
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin producing at simulated time ``at``."""
+        self.sim.call_at(at, self._produce)
+
+    def _produce(self) -> None:
+        tup = self.source.next_tuple()
+        if tup is None:
+            self.finished = True
+            return
+        cost = max(self.source.production_cost(tup.seq), 1e-9)
+        self.sim.call_after(
+            cost / self.host.per_pe_speed(), lambda: self._emit(tup)
+        )
+
+    def _emit(self, tup: StreamTuple) -> None:
+        if self._begin_emit(tup):
+            self._produce()
+
+    def _after_emit(self) -> None:
+        self._produce()
+
+
+class OperatorPE(_EmittingPE):
+    """One operator (or one replica of a parallelized operator)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        operator: Operator,
+        host: Host,
+        *,
+        name: str | None = None,
+        unwrap: bool = False,
+    ) -> None:
+        super().__init__(sim, name or operator.name)
+        self.operator = operator
+        self.host = host
+        host.place(self)
+        self.inputs: list[SimulatedConnection] = []
+        #: Replicas inside a parallel region receive wrapped tuples:
+        #: ``payload`` holds the real tuple, ``seq`` the region-local
+        #: order, which the result must keep for the merger.
+        self.unwrap = unwrap
+        self._busy = False
+        self._next_input = 0
+        self._load_multiplier = 1.0
+        self.processed = 0
+        self.dropped = 0
+
+    def set_load_multiplier(self, multiplier: float) -> None:
+        """External load on this PE (paper's simulated load)."""
+        check_positive("multiplier", multiplier)
+        self._load_multiplier = multiplier
+
+    def add_input(self, conn: SimulatedConnection) -> None:
+        """Attach an upstream stream; deliveries wake this PE."""
+        conn.on_deliver = self._wake
+        self.inputs.append(conn)
+
+    def _wake(self) -> None:
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        # Sending downstream can synchronously cascade into fresh
+        # deliveries on our inputs (buffer pumps run in one call chain),
+        # so this entry point must be idempotent: never start a second
+        # service while one is running or an emission is parked.
+        if self._busy or self._emit_tuple is not None:
+            return
+        for offset in range(len(self.inputs)):
+            idx = (self._next_input + offset) % len(self.inputs)
+            if self.inputs[idx].recv_available() > 0:
+                self._next_input = idx + 1
+                # Claim the PE *before* taking: take() pumps buffers and
+                # can synchronously re-enter this method.
+                self._busy = True
+                self._start(self.inputs[idx].take())
+                return
+
+    def _start(self, tup: StreamTuple) -> None:
+        self._busy = True
+        cost = self.operator.cost_multiplies * self._load_multiplier
+        duration = max(cost, 1e-9) / self.host.per_pe_speed()
+        self.sim.call_after(duration, lambda: self._finish(tup))
+
+    def _finish(self, tup: StreamTuple) -> None:
+        self._busy = False
+        self.processed += 1
+        if self.unwrap:
+            inner = self.operator.apply(tup.payload)
+            result = (
+                None
+                if inner is None
+                else StreamTuple(
+                    seq=tup.seq,
+                    cost_multiplies=tup.cost_multiplies,
+                    payload=inner,
+                )
+            )
+        else:
+            result = self.operator.apply(tup)
+        if result is None or not self.outputs:
+            if result is None:
+                self.dropped += 1
+            self._maybe_start()
+            return
+        if self._begin_emit(result):
+            self._maybe_start()
+
+    def _after_emit(self) -> None:
+        self._maybe_start()
+
+
+class SinkPE:
+    """Terminal consumer: applies the sink at its cost; no outputs."""
+
+    def __init__(self, sim: "Simulator", sink: SinkOp, host: Host) -> None:
+        self.sim = sim
+        self.name = sink.name
+        self.sink = sink
+        self.host = host
+        host.place(self)
+        self.inputs: list[SimulatedConnection] = []
+        self._busy = False
+        self._next_input = 0
+        self.last_consume_time: float | None = None
+
+    def add_input(self, conn: SimulatedConnection) -> None:
+        """Attach an upstream stream; deliveries wake this sink."""
+        conn.on_deliver = self._wake
+        self.inputs.append(conn)
+
+    def _wake(self) -> None:
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self._busy:
+            return
+        for offset in range(len(self.inputs)):
+            idx = (self._next_input + offset) % len(self.inputs)
+            if self.inputs[idx].recv_available() > 0:
+                self._next_input = idx + 1
+                self._busy = True  # claim before take(); see OperatorPE
+                self._start(self.inputs[idx].take())
+                return
+
+    def _start(self, tup: StreamTuple) -> None:
+        self._busy = True
+        duration = max(self.sink.cost_multiplies, 1e-9) / self.host.per_pe_speed()
+        self.sim.call_after(duration, lambda: self._finish(tup))
+
+    def _finish(self, tup: StreamTuple) -> None:
+        self._busy = False
+        self.sink.apply(tup)
+        self.last_consume_time = self.sim.now
+        self._maybe_start()
+
+
+class SplitterPE(_EmittingPE):
+    """Region entry: route each arriving tuple to one replica connection.
+
+    Re-stamps region-local sequence numbers (wrapping the original tuple)
+    and elects to block on the routed connection when it is full, charging
+    that connection's blocking counter — the measurement point of the
+    whole paper.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        host: Host,
+        *,
+        send_cost_multiplies: float = 125.0,
+    ) -> None:
+        super().__init__(sim, name)
+        self.host = host
+        host.place(self)
+        self.policy: WeightedPolicy | RoundRobinPolicy | None = None
+        self.input: SimulatedConnection | None = None
+        self._busy = False
+        self._local_seq = 0
+        self.send_cost_multiplies = send_cost_multiplies
+        self.sent_per_connection: list[int] = []
+        self._pending: StreamTuple | None = None
+        self._target: int | None = None
+        self._block_start: float | None = None
+
+    def attach(self, conn: SimulatedConnection) -> None:
+        """Attach the region's single upstream stream."""
+        conn.on_deliver = self._wake
+        self.input = conn
+
+    def _wake(self) -> None:
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self._busy or self._pending is not None:
+            return
+        assert self.input is not None
+        if self.input.recv_available() == 0:
+            return
+        self._busy = True  # claim before take(); see OperatorPE
+        tup = self.input.take()
+        duration = max(self.send_cost_multiplies, 1e-9) / self.host.per_pe_speed()
+        self.sim.call_after(duration, lambda: self._route(tup))
+
+    def _route(self, tup: StreamTuple) -> None:
+        self._busy = False
+        assert self.policy is not None
+        wrapped = StreamTuple(
+            seq=self._local_seq,
+            cost_multiplies=tup.cost_multiplies,
+            payload=tup,
+        )
+        self._local_seq += 1
+        self._pending = wrapped
+        self._target = self.policy.next_connection()
+        self._try_send()
+
+    def _try_send(self) -> None:
+        assert self._pending is not None and self._target is not None
+        conn = self.outputs[self._target]
+        if conn.send_nowait(self._pending):
+            self.sent_per_connection[self._target] += 1
+            self._pending = None
+            self._target = None
+            self._maybe_start()
+            return
+        self._block_start = self.sim.now
+        conn.wait_for_send_space(self._on_route_space)
+
+    def _on_route_space(self) -> None:
+        assert self._target is not None and self._block_start is not None
+        blocked = self.sim.now - self._block_start
+        self.blocked_seconds += blocked
+        self.outputs[self._target].blocking.add(blocked)
+        self._block_start = None
+        self._try_send()
+
+    def _after_emit(self) -> None:  # pragma: no cover - unused path
+        self._maybe_start()
+
+
+class MergerPE:
+    """Region exit: restore splitter arrival order, unwrap, forward."""
+
+    def __init__(
+        self, sim: "Simulator", name: str, host: Host, *, ordered: bool = True
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.host = host
+        host.place(self)
+        self.ordered = ordered
+        self.inputs: list[SimulatedConnection] = []
+        self.outputs: list[SimulatedConnection] = []
+        self._pending: dict[int, StreamTuple] = {}
+        self._next_seq = 0
+        self._backlog: deque[StreamTuple] = deque()
+        self._sending = False
+        self._send_index = 0
+        self.emitted = 0
+
+    def add_input(self, conn: SimulatedConnection) -> None:
+        """Attach one replica's output stream."""
+        conn.on_deliver = lambda c=conn: self._wake(c)
+        self.inputs.append(conn)
+
+    def _wake(self, conn: SimulatedConnection) -> None:
+        while conn.recv_available() > 0:
+            wrapped = conn.take()
+            if self.ordered:
+                self._pending[wrapped.seq] = wrapped
+            else:
+                self._backlog.append(wrapped)
+        if self.ordered:
+            while self._next_seq in self._pending:
+                self._backlog.append(self._pending.pop(self._next_seq))
+                self._next_seq += 1
+        self._drain()
+
+    def _drain(self) -> None:
+        if self._sending:
+            return
+        if not self.outputs:
+            # A merger with no downstream acts as a counter (parallel sink).
+            self.emitted += len(self._backlog)
+            self._backlog.clear()
+            return
+        while self._backlog:
+            inner = self._backlog[0].payload
+            while self._send_index < len(self.outputs):
+                conn = self.outputs[self._send_index]
+                if conn.send_nowait(inner):
+                    self._send_index += 1
+                    continue
+                self._sending = True
+                conn.wait_for_send_space(self._resume)
+                return
+            self._backlog.popleft()
+            self._send_index = 0
+            self.emitted += 1
+
+    def _resume(self) -> None:
+        self._sending = False
+        self._drain()
+
+
+@dataclass(slots=True)
+class ParallelRegionHandle:
+    """Access to one compiled parallel region."""
+
+    name: str
+    splitter: SplitterPE
+    replicas: list[OperatorPE]
+    merger: MergerPE
+    connections: list[SimulatedConnection]
+
+    @property
+    def blocking_counters(self) -> "list[BlockingCounter]":
+        """Per-replica-connection cumulative blocking counters."""
+        return [conn.blocking for conn in self.connections]
+
+    def set_weights(self, weights: list[int]) -> None:
+        """Apply new allocation weights to the region's splitter."""
+        if not isinstance(self.splitter.policy, WeightedPolicy):
+            raise RuntimeError(
+                f"region {self.name!r} does not use a weighted policy"
+            )
+        self.splitter.policy.set_weights(weights)
+
+
+@dataclass(slots=True)
+class _CompiledNode:
+    pe: object
+    #: For parallel nodes, the handle; None otherwise.
+    region: ParallelRegionHandle | None = None
+
+
+@dataclass(slots=True)
+class Application:
+    """A compiled, runnable streaming application."""
+
+    sim: "Simulator"
+    graph: StreamGraph
+    default_host: Host
+    placement: dict[str, Host] = field(default_factory=dict)
+    buffer_capacity: int = 32
+    splitter_send_cost: float = 125.0
+    _nodes: list[_CompiledNode] = field(default_factory=list)
+    _balancer_cancels: list = field(default_factory=list)
+    _all_conns: list[SimulatedConnection] = field(default_factory=list)
+    regions: dict[str, ParallelRegionHandle] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.graph.validate()
+        self._compile()
+
+    # ------------------------------------------------------------- compile
+
+    def _host_for(self, name: str) -> Host:
+        return self.placement.get(name, self.default_host)
+
+    def _new_conn(self) -> SimulatedConnection:
+        conn = SimulatedConnection(
+            self.sim,
+            conn_id=len(self._all_conns),
+            send_capacity=self.buffer_capacity,
+            recv_capacity=self.buffer_capacity,
+        )
+        self._all_conns.append(conn)
+        return conn
+
+    def _compile(self) -> None:
+        order = self.graph.topological_order()
+        compiled: dict[int, _CompiledNode] = {}
+
+        for node in order:
+            operator = self.graph.operators[node]
+            host = self._host_for(operator.name)
+            if isinstance(operator, SourceOp):
+                compiled[node] = _CompiledNode(SourcePE(self.sim, operator, host))
+            elif isinstance(operator, SinkOp):
+                compiled[node] = _CompiledNode(SinkPE(self.sim, operator, host))
+            elif node in self.graph.parallel:
+                compiled[node] = self._compile_region(node, operator)
+            else:
+                compiled[node] = _CompiledNode(
+                    OperatorPE(self.sim, operator, host)
+                )
+
+        # Wire the streams.
+        for upstream, downstream in self.graph.edges:
+            conn = self._new_conn()
+            entry = self._entry_of(compiled[downstream])
+            if isinstance(entry, SplitterPE):
+                entry.attach(conn)
+            else:
+                entry.add_input(conn)
+            self._exit_of(compiled[upstream]).outputs.append(conn)
+
+        self._nodes = [compiled[i] for i in range(len(self.graph.operators))]
+
+    def _compile_region(self, node: int, operator: Operator) -> _CompiledNode:
+        annotation = self.graph.parallel[node]
+        host = self._host_for(operator.name)
+        splitter = SplitterPE(
+            self.sim,
+            f"{operator.name}.split",
+            self._host_for(f"{operator.name}.split"),
+            send_cost_multiplies=self.splitter_send_cost,
+        )
+        merger = MergerPE(
+            self.sim,
+            f"{operator.name}.merge",
+            self._host_for(f"{operator.name}.merge"),
+            ordered=annotation.ordered,
+        )
+        replicas: list[OperatorPE] = []
+        connections: list[SimulatedConnection] = []
+        for i in range(annotation.width):
+            replica = OperatorPE(
+                self.sim,
+                operator,
+                self.placement.get(f"{operator.name}[{i}]", host),
+                name=f"{operator.name}[{i}]",
+                unwrap=True,
+            )
+            in_conn = self._new_conn()
+            replica.add_input(in_conn)
+            splitter.outputs.append(in_conn)
+            splitter.sent_per_connection.append(0)
+            connections.append(in_conn)
+            out_conn = self._new_conn()
+            replica.outputs.append(out_conn)
+            merger.add_input(out_conn)
+            replicas.append(replica)
+        splitter.policy = RoundRobinPolicy(annotation.width)
+        handle = ParallelRegionHandle(
+            name=operator.name,
+            splitter=splitter,
+            replicas=replicas,
+            merger=merger,
+            connections=connections,
+        )
+        self.regions[operator.name] = handle
+        return _CompiledNode(pe=handle, region=handle)
+
+    @staticmethod
+    def _entry_of(node: _CompiledNode):
+        if node.region is not None:
+            return node.region.splitter
+        return node.pe
+
+    @staticmethod
+    def _exit_of(node: _CompiledNode):
+        if node.region is not None:
+            return node.region.merger
+        return node.pe
+
+    # --------------------------------------------------------------- run
+
+    def enable_load_balancing(
+        self,
+        region_name: str,
+        config: BalancerConfig | None = None,
+        *,
+        interval: float = 1.0,
+    ) -> LoadBalancer:
+        """Attach the paper's controller to a parallel region."""
+        handle = self.regions[region_name]
+        balancer = LoadBalancer(len(handle.connections), config)
+        handle.splitter.policy = WeightedPolicy(balancer.weights)
+
+        def control() -> None:
+            counters = [c.read() for c in handle.blocking_counters]
+            weights = balancer.update(self.sim.now, counters)
+            if weights is not None:
+                handle.set_weights(weights)
+
+        self._balancer_cancels.append(self.sim.call_every(interval, control))
+        return balancer
+
+    def start(self, at: float = 0.0) -> None:
+        """Start every source."""
+        for node in self._nodes:
+            if isinstance(node.pe, SourcePE):
+                node.pe.start(at)
+
+    def run_until(self, end_time: float) -> None:
+        """Advance the simulation."""
+        self.sim.run_until(end_time)
+
+    def operator_pe(self, name: str):
+        """Look up a compiled PE (replicas via ``name[i]``)."""
+        for node in self._nodes:
+            pe = node.pe
+            if node.region is not None:
+                for replica in node.region.replicas:
+                    if replica.name == name:
+                        return replica
+                if node.region.name == name:
+                    return node.region
+            elif getattr(pe, "name", None) == name:
+                return pe
+        raise KeyError(f"no PE named {name!r}")

@@ -1,0 +1,151 @@
+"""The ordered merger at the back of a parallel region.
+
+Sequential semantics (Section 4.1): tuples must leave the region in exactly
+the order they entered the splitter, as if a single PE had processed them
+all. The merger therefore holds back any tuple whose predecessors have not
+yet arrived — which is why the whole region is gated by its slowest worker,
+and why per-connection throughput carries no information (Section 4.3).
+
+The merger's reordering buffer is unbounded, matching the paper's
+implementation choice to "block at the splitter" rather than at the merger
+("it is an artifact of our implementation *where* we block. But we
+fundamentally have to block *somewhere*"). Its occupancy stays bounded in
+practice by the connections' bounded buffers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.streams.tuples import StreamTuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class SequenceError(RuntimeError):
+    """A tuple arrived that violates sequence bookkeeping (duplicate/stale)."""
+
+
+class OrderedMerger:
+    """Restores global sequence order across N worker outputs."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        *,
+        on_emit: Callable[[StreamTuple], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.on_emit = on_emit
+        self._next_seq = 0
+        self._pending: dict[int, StreamTuple] = {}
+        #: Tuples emitted downstream, in order.
+        self.emitted = 0
+        #: Simulated time of the most recent emission.
+        self.last_emit_time: float | None = None
+        #: Peak size of the reordering buffer (diagnostic).
+        self.max_pending = 0
+        #: Tuples received per upstream worker (diagnostic).
+        self.received_per_worker: dict[int, int] = {}
+        #: Sum of end-to-end region latencies (seconds) of emitted tuples
+        #: that carried a ``born_at`` stamp, and their count. The ratio is
+        #: the mean region latency; samplers difference it per interval.
+        self.latency_seconds = 0.0
+        self.latency_count = 0
+        self._completion_target: int | None = None
+        self._on_complete: Callable[[], None] | None = None
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the merger is waiting for."""
+        return self._next_seq
+
+    @property
+    def pending_count(self) -> int:
+        """Tuples held back waiting for predecessors."""
+        return len(self._pending)
+
+    def on_completion(self, target: int, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once ``target`` tuples have been emitted."""
+        if target <= 0:
+            raise ValueError(f"target must be positive, got {target}")
+        self._completion_target = target
+        self._on_complete = callback
+
+    def accept(self, worker_id: int, tup: StreamTuple) -> None:
+        """Receive a processed tuple from worker ``worker_id``."""
+        if tup.seq < self._next_seq or tup.seq in self._pending:
+            raise SequenceError(
+                f"tuple seq {tup.seq} already merged or pending "
+                f"(next expected: {self._next_seq})"
+            )
+        self.received_per_worker[worker_id] = (
+            self.received_per_worker.get(worker_id, 0) + 1
+        )
+        self._pending[tup.seq] = tup
+        if len(self._pending) > self.max_pending:
+            self.max_pending = len(self._pending)
+        while self._next_seq in self._pending:
+            ready = self._pending.pop(self._next_seq)
+            self._next_seq += 1
+            self._emit(ready)
+
+    def _emit(self, tup: StreamTuple) -> None:
+        self.emitted += 1
+        self.last_emit_time = self.sim.now
+        if tup.born_at is not None:
+            self.latency_seconds += self.sim.now - tup.born_at
+            self.latency_count += 1
+        if self.on_emit is not None:
+            self.on_emit(tup)
+        if (
+            self._completion_target is not None
+            and self.emitted >= self._completion_target
+        ):
+            callback, self._on_complete = self._on_complete, None
+            self._completion_target = None
+            if callback is not None:
+                callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"OrderedMerger(emitted={self.emitted}, next_seq={self._next_seq}, "
+            f"pending={len(self._pending)})"
+        )
+
+
+class UnorderedMerger(OrderedMerger):
+    """A pass-through merger: no sequential semantics.
+
+    Models the regions the paper mentions in passing — "Some parallel
+    regions end without merges, in parallel sinks" — and the production
+    version of IBM Streams, which "does not maintain tuple order" for
+    annotated parallel regions. Tuples are forwarded downstream the moment
+    a worker finishes them.
+
+    Without the in-order merge, a fast worker's completions are no longer
+    held hostage to a slow sibling's queue: per-connection throughput
+    becomes informative again, and transport-level re-routing actually
+    works. The ordering ablation bench uses this class to demonstrate that
+    the ordered merge is precisely what makes the paper's problem hard
+    (Sections 4.1 and 4.3).
+    """
+
+    def accept(self, worker_id: int, tup: StreamTuple) -> None:
+        """Forward ``tup`` downstream immediately."""
+        if tup.seq in self._seen:
+            raise SequenceError(f"tuple seq {tup.seq} delivered twice")
+        self._seen.add(tup.seq)
+        self.received_per_worker[worker_id] = (
+            self.received_per_worker.get(worker_id, 0) + 1
+        )
+        self._emit(tup)
+
+    def __init__(self, sim, *, on_emit=None) -> None:
+        super().__init__(sim, on_emit=on_emit)
+        self._seen: set[int] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UnorderedMerger(emitted={self.emitted})"

@@ -1,0 +1,121 @@
+"""Worker processing elements.
+
+A worker PE is a *stateless* operator replica (Section 2: "stateless PEs
+are pure functions"). It consumes tuples from its connection's receive
+buffer one at a time; the service time of a tuple is
+
+    cost_multiplies * load_multiplier / host.per_pe_speed()
+
+``load_multiplier`` models the paper's "simulated external load" — e.g. a
+value of 100 makes every tuple take 100x longer, exactly how the paper
+loads half its PEs. It can change mid-run (the experiments remove the load
+an eighth of the way through); the new value applies from the next tuple.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.streams.tuples import StreamTuple
+from repro.util.validation import check_fraction, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.connection import SimulatedConnection
+    from repro.sim.engine import Simulator
+    from repro.streams.hosts import Host
+    from repro.streams.merger import OrderedMerger
+
+
+class WorkerPE:
+    """One parallel worker in the data-parallel region."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        pe_id: int,
+        connection: "SimulatedConnection",
+        host: "Host",
+        merger: "OrderedMerger",
+        *,
+        load_multiplier: float = 1.0,
+        service_jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        check_positive("load_multiplier", load_multiplier)
+        check_fraction("service_jitter", service_jitter)
+        self.sim = sim
+        self.pe_id = pe_id
+        self.connection = connection
+        self.host = host
+        self.merger = merger
+        self._load_multiplier = float(load_multiplier)
+        #: Relative service-time noise: each service is scaled by a
+        #: uniform factor in ``[1 - j, 1 + j]``. The real cluster the
+        #: paper measured has such noise everywhere (cache effects, OS
+        #: scheduling); a perfectly deterministic simulator produces
+        #: artifacts like a draft leader that never rotates at a 50/50
+        #: split. Seeded, so runs stay reproducible.
+        self.service_jitter = float(service_jitter)
+        self._rng = random.Random((seed << 16) ^ (pe_id * 2_654_435_761))
+        self._busy = False
+        #: Tuples fully processed by this PE.
+        self.tuples_processed = 0
+        #: Seconds this PE has spent servicing tuples.
+        self.busy_seconds = 0.0
+        connection.on_deliver = self._on_deliver
+        host.place(self)
+
+    @property
+    def load_multiplier(self) -> float:
+        """Current external-load cost multiplier."""
+        return self._load_multiplier
+
+    def set_load_multiplier(self, multiplier: float) -> None:
+        """Change the external load; applies from the next tuple started."""
+        check_positive("multiplier", multiplier)
+        self._load_multiplier = float(multiplier)
+
+    @property
+    def busy(self) -> bool:
+        """Whether a tuple is currently in service."""
+        return self._busy
+
+    def service_time(self, tup: StreamTuple) -> float:
+        """Seconds this PE would take to process ``tup`` right now."""
+        base = (
+            tup.cost_multiplies
+            * self._load_multiplier
+            / self.host.per_pe_speed()
+        )
+        if self.service_jitter == 0.0:
+            return base
+        factor = 1.0 + self.service_jitter * (2.0 * self._rng.random() - 1.0)
+        return base * factor
+
+    # ------------------------------------------------------------- internal
+
+    def _on_deliver(self) -> None:
+        if not self._busy and self.connection.recv_available() > 0:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        self._busy = True
+        tup = self.connection.take()
+        duration = self.service_time(tup)
+        self.busy_seconds += duration
+        self.sim.call_after(duration, lambda: self._complete(tup))
+
+    def _complete(self, tup: StreamTuple) -> None:
+        self.tuples_processed += 1
+        self.merger.accept(self.pe_id, tup)
+        if self.connection.recv_available() > 0:
+            self._start_next()
+        else:
+            self._busy = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WorkerPE(id={self.pe_id}, host={self.host.name!r}, "
+            f"load={self._load_multiplier:g}, processed={self.tuples_processed})"
+        )

@@ -1,0 +1,140 @@
+"""Assembly of a complete ordered data-parallel region.
+
+``ParallelRegion`` wires source -> splitter -> N connections -> N worker
+PEs -> ordered merger inside one simulator, with the placement mapping
+workers to hosts. This is the object every experiment and example builds;
+the load-balancing controller attaches to it via the blocking counters and
+the routing policy's weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.net.connection import SimulatedConnection
+from repro.streams.merger import OrderedMerger, UnorderedMerger
+from repro.streams.pe import WorkerPE
+from repro.streams.splitter import RoutingPolicy, Splitter
+from repro.util.validation import check_non_negative, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.blocking import BlockingCounter
+    from repro.sim.engine import Simulator
+    from repro.streams.hosts import Placement
+    from repro.streams.sources import TupleSource
+
+
+@dataclass(slots=True)
+class RegionParams:
+    """Dataplane parameters shared by every connection in the region.
+
+    The defaults model the paper's setup: two OS socket buffers per
+    connection (sized in tuples), negligible wire latency (InfiniBand), and
+    a splitter whose per-tuple send cost is small relative to worker
+    service times, so workers are the bottleneck until parallelism is high.
+    """
+
+    send_capacity: int = 32
+    recv_capacity: int = 32
+    wire_delay: float = 0.0
+    send_overhead: float = 1e-5
+    #: Relative service-time noise per worker (0 = deterministic; see
+    #: :class:`~repro.streams.pe.WorkerPE`). Seeded by ``seed``.
+    service_jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("send_capacity", self.send_capacity)
+        check_positive("recv_capacity", self.recv_capacity)
+        check_non_negative("wire_delay", self.wire_delay)
+        check_positive("send_overhead", self.send_overhead)
+        if not 0.0 <= self.service_jitter <= 1.0:
+            raise ValueError(
+                f"service_jitter must be in [0, 1], got {self.service_jitter}"
+            )
+
+
+class ParallelRegion:
+    """A splitter, N connections/workers, and an ordered merger."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        source: "TupleSource",
+        policy: RoutingPolicy,
+        placement: "Placement",
+        *,
+        params: RegionParams | None = None,
+        load_multipliers: list[float] | None = None,
+        ordered: bool = True,
+    ) -> None:
+        n_workers = len(placement)
+        if n_workers == 0:
+            raise ValueError("placement must contain at least one worker")
+        if load_multipliers is not None and len(load_multipliers) != n_workers:
+            raise ValueError(
+                f"load_multipliers has {len(load_multipliers)} entries "
+                f"for {n_workers} workers"
+            )
+        self.sim = sim
+        self.params = params or RegionParams()
+        #: Whether sequential semantics are enforced at the back of the
+        #: region (the paper's default; ``False`` models parallel sinks /
+        #: the production annotation that drops ordering).
+        self.ordered = ordered
+        self.merger = OrderedMerger(sim) if ordered else UnorderedMerger(sim)
+        self.connections = [
+            SimulatedConnection(
+                sim,
+                i,
+                send_capacity=self.params.send_capacity,
+                recv_capacity=self.params.recv_capacity,
+                wire_delay=self.params.wire_delay,
+            )
+            for i in range(n_workers)
+        ]
+        self.workers = [
+            WorkerPE(
+                sim,
+                i,
+                self.connections[i],
+                placement[i],
+                self.merger,
+                load_multiplier=(
+                    load_multipliers[i] if load_multipliers is not None else 1.0
+                ),
+                service_jitter=self.params.service_jitter,
+                seed=self.params.seed,
+            )
+            for i in range(n_workers)
+        ]
+        self.splitter = Splitter(
+            sim,
+            source,
+            self.connections,
+            policy,
+            send_overhead=self.params.send_overhead,
+        )
+
+    @property
+    def n_workers(self) -> int:
+        """Width of the parallel region."""
+        return len(self.workers)
+
+    @property
+    def blocking_counters(self) -> list["BlockingCounter"]:
+        """Per-connection cumulative blocking counters, in worker order."""
+        return [conn.blocking for conn in self.connections]
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin streaming at simulated time ``at``."""
+        self.splitter.start(at)
+
+    def total_capacity(self) -> float:
+        """Aggregate worker service capacity in tuples/sec for unit cost.
+
+        Useful for sizing experiments; actual tuple rates divide this by
+        the tuple cost in multiplies and each worker's load multiplier.
+        """
+        return sum(w.host.per_pe_speed() / w.load_multiplier for w in self.workers)

@@ -1,0 +1,74 @@
+"""Tuple sources feeding the splitter.
+
+The paper's experiments run a saturating source: the splitter always has
+the next tuple ready, so region throughput is gated by the workers (or, at
+high parallelism, by the splitter's own send cost). A
+:class:`FiniteSource` bounds the run to a fixed tuple count — the paper's
+"total execution time" metric is the time to drain such a source through
+the region. :class:`InfiniteSource` supports open-ended runs that stop at a
+time horizon instead.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+from repro.streams.tuples import StreamTuple
+from repro.util.validation import check_positive
+
+CostModel = Callable[[int], float]
+"""Maps a tuple's sequence number to its base cost in integer multiplies."""
+
+
+def constant_cost(multiplies: float) -> CostModel:
+    """Cost model where every tuple costs the same (the paper's workload)."""
+    check_positive("multiplies", multiplies)
+    return lambda _seq: multiplies
+
+
+class TupleSource(ABC):
+    """Produces the totally ordered tuple stream entering the splitter."""
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self._cost_model = cost_model
+        self._next_seq = 0
+
+    @property
+    def produced(self) -> int:
+        """Tuples handed out so far."""
+        return self._next_seq
+
+    @abstractmethod
+    def exhausted(self) -> bool:
+        """Whether no further tuples will be produced."""
+
+    def next_tuple(self) -> StreamTuple | None:
+        """The next tuple in sequence order, or ``None`` when exhausted."""
+        if self.exhausted():
+            return None
+        tup = StreamTuple(
+            seq=self._next_seq,
+            cost_multiplies=self._cost_model(self._next_seq),
+        )
+        self._next_seq += 1
+        return tup
+
+
+class FiniteSource(TupleSource):
+    """Exactly ``total`` tuples; used for execution-time experiments."""
+
+    def __init__(self, total: int, cost_model: CostModel) -> None:
+        super().__init__(cost_model)
+        check_positive("total", total)
+        self.total = int(total)
+
+    def exhausted(self) -> bool:
+        return self._next_seq >= self.total
+
+
+class InfiniteSource(TupleSource):
+    """Unbounded stream; the run is stopped by a time horizon instead."""
+
+    def exhausted(self) -> bool:
+        return False

@@ -1,0 +1,147 @@
+"""The single-threaded splitter at the front of a parallel region.
+
+The splitter routes each tuple to one worker connection according to a
+routing policy, and — crucially — it *elects to block* when the chosen
+connection cannot accept the tuple (Section 4.4): it detects would-block
+with a non-blocking send, parks on that connection, and charges the wait to
+the connection's blocking counter. Having a single thread of control is
+what produces drafting (Section 4.2): while the splitter is parked on one
+connection, every other connection drains, so the same "draft leader"
+tends to absorb all observed blocking.
+
+Policies that set ``allows_reroute`` get the Section 4.4 transport-level
+re-routing behaviour instead: on would-block the tuple is offered to
+alternate connections, and the splitter blocks only when *every* buffer is
+full. The paper shows why that baseline fails; we reproduce the failure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Iterable
+
+    from repro.net.connection import SimulatedConnection
+    from repro.sim.engine import Simulator
+    from repro.streams.sources import TupleSource
+    from repro.streams.tuples import StreamTuple
+
+
+@runtime_checkable
+class RoutingPolicy(Protocol):
+    """What the splitter needs from a routing policy.
+
+    Implementations live in :mod:`repro.core.policies`.
+    """
+
+    #: Whether the splitter should try alternate connections on would-block.
+    allows_reroute: bool
+
+    def next_connection(self) -> int:
+        """Connection index for the next tuple."""
+
+    def reroute_candidates(self, blocked: int) -> "Iterable[int]":
+        """Alternate connections to try when ``blocked`` is full."""
+
+
+class Splitter:
+    """Routes the ordered tuple stream across the worker connections."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        source: "TupleSource",
+        connections: list["SimulatedConnection"],
+        policy: RoutingPolicy,
+        *,
+        send_overhead: float = 1e-5,
+    ) -> None:
+        if not connections:
+            raise ValueError("splitter needs at least one connection")
+        check_positive("send_overhead", send_overhead)
+        self.sim = sim
+        self.source = source
+        self.connections = connections
+        self.policy = policy
+        self.send_overhead = float(send_overhead)
+        #: Tuples sent per connection (by where they actually went).
+        self.sent_per_connection = [0] * len(connections)
+        #: Tuples sent to a different connection than the policy chose.
+        self.rerouted = 0
+        #: Total blocking episodes across all connections.
+        self.block_events = 0
+        #: True once the source is drained and the last tuple sent.
+        self.finished = False
+        self._pending: "StreamTuple | None" = None
+        self._target: int | None = None
+        self._block_start: float | None = None
+        self._started = False
+
+    @property
+    def tuples_sent(self) -> int:
+        """Total tuples pushed into connections so far."""
+        return sum(self.sent_per_connection)
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin the send loop at simulated time ``at``."""
+        if self._started:
+            raise RuntimeError("splitter already started")
+        self._started = True
+        self.sim.call_at(at, self._try_send)
+
+    # ------------------------------------------------------------- internal
+
+    def _try_send(self) -> None:
+        if self._pending is None:
+            tup = self.source.next_tuple()
+            if tup is None:
+                self.finished = True
+                return
+            tup.born_at = self.sim.now
+            self._pending = tup
+            self._target = self.policy.next_connection()
+            if not 0 <= self._target < len(self.connections):
+                raise ValueError(
+                    f"policy routed to invalid connection {self._target}"
+                )
+
+        target = self._target
+        assert target is not None and self._pending is not None
+        if self.connections[target].send_nowait(self._pending):
+            self._sent(target)
+            return
+
+        if self.policy.allows_reroute:
+            for alt in self.policy.reroute_candidates(target):
+                if alt == target:
+                    continue
+                if self.connections[alt].send_nowait(self._pending):
+                    self.rerouted += 1
+                    self._sent(alt)
+                    return
+
+        # Elect to block on the originally chosen connection, recording for
+        # how long (the MSG_DONTWAIT + select dance of Section 3).
+        self.block_events += 1
+        self._block_start = self.sim.now
+        self.connections[target].wait_for_send_space(self._on_send_space)
+
+    def _on_send_space(self) -> None:
+        target = self._target
+        assert target is not None and self._block_start is not None
+        blocked = self.sim.now - self._block_start
+        self._block_start = None
+        self.connections[target].blocking.add(blocked)
+        sent = self.connections[target].send_nowait(self._pending)
+        if not sent:  # pragma: no cover - wakeup guarantees space
+            raise RuntimeError("woken without send space")
+        self._sent(target)
+
+    def _sent(self, connection: int) -> None:
+        self.sent_per_connection[connection] += 1
+        self._pending = None
+        self._target = None
+        self.sim.call_after(self.send_overhead, self._try_send)

@@ -1,0 +1,46 @@
+"""Stream tuples.
+
+Tuples are the structured data items flowing through the region. For the
+paper's experiments the only property that matters is the *processing cost*,
+expressed in integer multiplies (their workload is "a base cost of 1,000
+integer multiplies per tuple", etc.). The sequence number is assigned by the
+splitter's source and is what the ordered merger restores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(slots=True)
+class StreamTuple:
+    """One data item in the stream.
+
+    ``seq``
+        Global sequence number in arrival order at the splitter. The merger
+        must emit tuples in exactly this order (sequential semantics).
+    ``cost_multiplies``
+        Base processing cost in integer multiplies. The worker's *actual*
+        service time also depends on its host speed and any external load
+        multiplier in force.
+    ``payload``
+        Opaque application data; unused by the runtime.
+    ``born_at``
+        Simulated time the tuple entered the region (stamped by the
+        splitter on its first send attempt); lets the merger compute
+        end-to-end region latency. ``None`` until stamped.
+    """
+
+    seq: int
+    cost_multiplies: float
+    payload: Any = field(default=None)
+    born_at: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError(f"seq must be non-negative, got {self.seq}")
+        if self.cost_multiplies <= 0:
+            raise ValueError(
+                f"cost_multiplies must be positive, got {self.cost_multiplies}"
+            )

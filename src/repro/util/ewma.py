@@ -1,0 +1,113 @@
+"""Exponential smoothing primitives.
+
+The paper smooths two kinds of signals:
+
+* the per-connection blocking *rate* derived from differences of the
+  cumulative blocking-time counter (Section 3: "We use an appropriately
+  smoothed single blocking rate value in our model"), and
+* new observations folded into the raw data of each blocking rate function
+  (Section 5.1, step one: "new data is collected and smoothed into the
+  existing raw data").
+
+Both use the same primitive: an exponentially weighted moving average.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_fraction, check_non_negative
+
+
+class Ewma:
+    """Exponentially weighted moving average.
+
+    ``alpha`` is the weight given to each *new* observation: ``alpha=1``
+    means no smoothing (always take the latest value), ``alpha`` near 0
+    means very heavy smoothing. Before any observation arrives the value
+    is ``None``.
+    """
+
+    __slots__ = ("alpha", "_value")
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        check_fraction("alpha", alpha)
+        if alpha == 0.0:
+            raise ValueError("alpha=0 would ignore all observations")
+        self.alpha = alpha
+        self._value: float | None = None
+
+    @property
+    def value(self) -> float | None:
+        """Current smoothed value, or ``None`` if nothing was observed."""
+        return self._value
+
+    def observe(self, sample: float) -> float:
+        """Fold ``sample`` into the average and return the new value."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.alpha * (float(sample) - self._value)
+        return self._value
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._value = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Ewma(alpha={self.alpha}, value={self._value})"
+
+
+class IntervalRate:
+    """Turns a monotonically non-decreasing cumulative counter into a rate.
+
+    This is the Figure 2 computation: the data transport layer exposes a
+    *cumulative blocking time* per connection; sampling it periodically and
+    differencing successive samples yields the *blocking rate* over each
+    interval (a first derivative with respect to time). The counter may be
+    reset by the transport layer at arbitrary times; a sample smaller than
+    its predecessor is treated as a reset and the delta is measured from
+    zero.
+
+    The resulting per-interval rates are smoothed with an :class:`Ewma`.
+    """
+
+    __slots__ = ("_ewma", "_last_counter", "_last_time")
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        self._ewma = Ewma(alpha)
+        self._last_counter: float | None = None
+        self._last_time: float | None = None
+
+    @property
+    def rate(self) -> float | None:
+        """Latest smoothed rate (units of counter per unit time)."""
+        return self._ewma.value
+
+    def sample(self, now: float, counter: float) -> float | None:
+        """Record a counter observation at time ``now``.
+
+        Returns the new smoothed rate, or ``None`` until two samples exist.
+        """
+        check_non_negative("counter", counter)
+        if self._last_time is not None and now <= self._last_time:
+            raise ValueError(
+                f"samples must advance in time (got {now} after {self._last_time})"
+            )
+        if self._last_counter is None:
+            self._last_counter = counter
+            self._last_time = now
+            return None
+        elapsed = now - self._last_time
+        delta = counter - self._last_counter
+        if delta < 0.0:
+            # The transport layer reset its cumulative counter; the counter
+            # restarted from zero some time during the interval.
+            delta = counter
+        self._last_counter = counter
+        self._last_time = now
+        return self._ewma.observe(delta / elapsed)
+
+    def reset(self) -> None:
+        """Forget all history (e.g., after a topology change)."""
+        self._ewma.reset()
+        self._last_counter = None
+        self._last_time = None

@@ -1,0 +1,101 @@
+"""A small append-only time series used by experiment instrumentation.
+
+Every in-depth figure in the paper (Figures 5, 8, 11, 12) is a set of
+per-connection time series: allocation weight over time, blocking rate over
+time, cluster assignment over time. :class:`TimeSeries` is the common
+recording structure; :mod:`repro.analysis.report` renders them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterator
+
+
+class TimeSeries:
+    """Append-only series of ``(time, value)`` points, ordered by time."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    def __bool__(self) -> bool:
+        return bool(self._times)
+
+    @property
+    def times(self) -> list[float]:
+        """Time stamps (shared list; treat as read-only)."""
+        return self._times
+
+    @property
+    def values(self) -> list[float]:
+        """Recorded values (shared list; treat as read-only)."""
+        return self._values
+
+    def record(self, time: float, value: float) -> None:
+        """Append a point; ``time`` must not go backwards."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time went backwards: {time} after {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def last(self) -> tuple[float, float]:
+        """The most recent ``(time, value)`` point."""
+        if not self._times:
+            raise IndexError("empty time series")
+        return self._times[-1], self._values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Value of the most recent point at or before ``time``.
+
+        This is a step-function (zero-order hold) lookup, which matches how
+        the recorded quantities behave: an allocation weight stays in force
+        until the controller changes it.
+        """
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            raise ValueError(f"no data at or before time {time}")
+        return self._values[idx]
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series with ``start <= time <= end`` (new object)."""
+        out = TimeSeries(self.name)
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_right(self._times, end)
+        out._times = self._times[lo:hi]
+        out._values = self._values[lo:hi]
+        return out
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values."""
+        if not self._values:
+            raise ValueError("empty time series")
+        return sum(self._values) / len(self._values)
+
+    def final_mean(self, fraction: float = 0.1) -> float:
+        """Mean over the trailing ``fraction`` of the recorded time span.
+
+        Used for the paper's "final throughput" metric, which is measured
+        "well after the load has been removed" (Section 6.3).
+        """
+        if not self._values:
+            raise ValueError("empty time series")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        start = self._times[-1] - fraction * (self._times[-1] - self._times[0])
+        tail = self.window(start, self._times[-1])
+        return tail.mean()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TimeSeries({self.name!r}, n={len(self)})"

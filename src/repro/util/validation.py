@@ -1,0 +1,42 @@
+"""Argument validation helpers.
+
+Errors raised here should read well at the call site: the ``name`` argument
+is the caller's parameter name, so a bad ``alpha`` produces
+``ValueError: alpha must be in [0, 1], got 1.5``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def check_positive(name: str, value: float) -> None:
+    """Require ``value > 0`` and finite."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be positive and finite, got {value}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Require ``value >= 0`` and finite."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be non-negative and finite, got {value}")
+
+
+def check_fraction(name: str, value: float) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def check_probability_vector(name: str, values: Sequence[float], tol: float = 1e-9) -> None:
+    """Require non-negative entries summing to 1 (within ``tol``)."""
+    if not values:
+        raise ValueError(f"{name} must be non-empty")
+    total = 0.0
+    for i, v in enumerate(values):
+        if not math.isfinite(v) or v < 0:
+            raise ValueError(f"{name}[{i}] must be non-negative, got {v}")
+        total += v
+    if abs(total - 1.0) > tol:
+        raise ValueError(f"{name} must sum to 1, got {total}")

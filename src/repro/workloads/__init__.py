@@ -1,0 +1,13 @@
+"""Workload generation: tuple cost models and external-load schedules.
+
+The paper's workload is synthetic and precisely specified: every tuple
+costs a fixed number of integer multiplies (1 000 / 10 000 / 20 000 /
+60 000 depending on the experiment), and "simulated external load" makes
+selected PEs 5x / 10x / 100x more expensive, sometimes removed an eighth
+of the way through the run. This package reproduces those generators.
+"""
+
+from repro.streams.sources import constant_cost
+from repro.workloads.external_load import LoadEvent, LoadSchedule
+
+__all__ = ["constant_cost", "LoadEvent", "LoadSchedule"]

@@ -1,0 +1,79 @@
+"""Tests for JSON/CSV export of results."""
+
+import csv
+import io
+import json
+
+from repro.analysis.export import (
+    result_to_dict,
+    result_to_json,
+    series_to_csv,
+    sweep_to_csv,
+)
+from repro.experiments.config import ExperimentConfig, HostSpec
+from repro.experiments.results import SweepRow
+from repro.experiments.runner import run_experiment
+from repro.util.timeseries import TimeSeries
+
+
+def quick_result():
+    config = ExperimentConfig(
+        name="export-test",
+        n_workers=2,
+        tuple_cost=1_000.0,
+        host_specs=[HostSpec("h", cores=8, thread_speed=2e5)],
+        worker_host=[0, 0],
+        duration=10.0,
+        splitter_cost_multiplies=125.0,
+    )
+    return run_experiment(config, "lb-adaptive")
+
+
+class TestResultExport:
+    def test_round_trips_through_json(self):
+        result = quick_result()
+        parsed = json.loads(result_to_json(result))
+        assert parsed["name"] == "export-test"
+        assert parsed["policy"] == "lb-adaptive"
+        assert parsed["n_workers"] == 2
+        assert len(parsed["weights"]) == 2
+        assert len(parsed["throughput"]["times"]) == len(
+            parsed["throughput"]["values"]
+        )
+
+    def test_dict_contains_scalar_metrics(self):
+        data = result_to_dict(quick_result())
+        for key in ("final_throughput", "final_latency", "block_events",
+                    "reroute_fraction", "emitted"):
+            assert key in data
+
+    def test_json_is_pure_builtin_types(self):
+        # json.dumps would raise on anything exotic; indent path too.
+        text = result_to_json(quick_result(), indent=2)
+        assert text.startswith("{")
+
+
+class TestSweepCsv:
+    def test_rows_and_header(self):
+        rows = [
+            SweepRow(2, "oracle", 10.0, 100.0, normalized_time=1.0),
+            SweepRow(2, "rr", None, 50.0),
+        ]
+        parsed = list(csv.reader(io.StringIO(sweep_to_csv(rows))))
+        assert parsed[0][0] == "n_pes"
+        assert parsed[1][:2] == ["2", "oracle"]
+        assert parsed[2][2] == ""  # missing execution time
+
+
+class TestSeriesCsv:
+    def test_union_grid_and_step_values(self):
+        a = TimeSeries("a")
+        a.record(0.0, 1.0)
+        a.record(2.0, 3.0)
+        b = TimeSeries("b")
+        b.record(1.0, 5.0)
+        parsed = list(csv.reader(io.StringIO(series_to_csv([a, b]))))
+        assert parsed[0] == ["time", "a", "b"]
+        assert parsed[1] == ["0", "1", ""]  # b has no data yet
+        assert parsed[2] == ["1", "1", "5"]  # a holds its step value
+        assert parsed[3] == ["2", "3", "5"]

@@ -1,0 +1,73 @@
+"""Unit tests for the clustering heatmap."""
+
+import pytest
+
+from repro.analysis.heatmap import ClusterHeatmap, canonical_labels
+
+
+class TestCanonicalLabels:
+    def test_labels_by_smallest_member(self):
+        labels = canonical_labels([[0, 2], [1, 3]], 4)
+        assert labels == [0, 1, 0, 1]
+
+    def test_missing_channel_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_labels([[0]], 2)
+
+    def test_duplicate_channel_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_labels([[0, 1], [1]], 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_labels([[0, 5]], 2)
+
+
+class TestHeatmap:
+    def make(self):
+        heatmap = ClusterHeatmap(4)
+        heatmap.add(0.0, [[0], [1], [2], [3]])
+        heatmap.add(1.0, [[0, 1], [2], [3]])
+        heatmap.add(2.0, [[0, 1], [2, 3]])
+        heatmap.add(3.0, [[0, 1], [2, 3]])
+        return heatmap
+
+    def test_from_snapshots(self):
+        heatmap = ClusterHeatmap.from_snapshots(
+            [(0.0, [[0], [1]]), (1.0, [[0, 1]])], 2
+        )
+        assert len(heatmap.rows) == 2
+
+    def test_final_clusters(self):
+        assert self.make().final_clusters() == [[0, 1], [2, 3]]
+
+    def test_switches_counted_per_channel(self):
+        heatmap = self.make()
+        assert heatmap.switches(1) == 1  # singleton -> cluster 0
+        assert heatmap.switches(0) == 0  # label 0 throughout
+
+    def test_last_switch_time(self):
+        assert self.make().last_switch_time() == 2.0
+
+    def test_no_switches(self):
+        heatmap = ClusterHeatmap(2)
+        heatmap.add(0.0, [[0, 1]])
+        heatmap.add(1.0, [[0, 1]])
+        assert heatmap.last_switch_time() is None
+
+    def test_classes_at(self):
+        heatmap = self.make()
+        assert heatmap.classes_at(2) == {0: [0, 1], 2: [2, 3]}
+
+    def test_render_produces_grid(self):
+        text = self.make().render()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all("|" in line for line in lines)
+
+    def test_render_empty(self):
+        assert "empty" in ClusterHeatmap(2).render()
+
+    def test_needs_channels(self):
+        with pytest.raises(ValueError):
+            ClusterHeatmap(0)

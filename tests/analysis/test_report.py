@@ -1,0 +1,59 @@
+"""Unit tests for text report rendering."""
+
+from repro.analysis.report import render_series, render_weight_table, resample, sparkline
+from repro.util.timeseries import TimeSeries
+
+
+def series_of(points, name="s"):
+    series = TimeSeries(name)
+    for t, v in points:
+        series.record(t, v)
+    return series
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_zero_values_render_blank(self):
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_peak_uses_densest_glyph(self):
+        strip = sparkline([0.0, 1.0])
+        assert strip[0] == " "
+        assert strip[1] == "@"
+
+    def test_fixed_maximum_scales(self):
+        assert sparkline([1.0], maximum=10.0)[0] not in (" ", "@")
+
+
+class TestResample:
+    def test_even_sampling(self):
+        series = series_of([(0.0, 1.0), (10.0, 2.0)])
+        assert resample(series, 3) == [1.0, 1.0, 2.0]
+
+    def test_single_point(self):
+        series = series_of([(0.0, 7.0)])
+        assert resample(series, 5) == [7.0]
+
+    def test_empty_series(self):
+        assert resample(TimeSeries(), 5) == []
+
+
+class TestRenderers:
+    def test_render_series_one_row_per_connection(self):
+        a = series_of([(0.0, 0.0), (1.0, 1.0)])
+        b = series_of([(0.0, 1.0), (1.0, 0.0)])
+        text = render_series([a, b], title="rates", points=10)
+        assert "rates" in text
+        assert "conn  0" in text and "conn  1" in text
+
+    def test_render_weight_table_percent(self):
+        a = series_of([(0.0, 500.0)])
+        text = render_weight_table([a], [0.0])
+        assert "50.0%" in text
+
+    def test_render_weight_table_raw(self):
+        a = series_of([(0.0, 500.0)])
+        text = render_weight_table([a], [0.0], as_percent=False)
+        assert "500" in text

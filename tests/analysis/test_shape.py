@@ -1,0 +1,53 @@
+"""Unit tests for shape assertions."""
+
+import pytest
+
+from repro.analysis.shape import (
+    ShapeError,
+    assert_between,
+    assert_faster,
+    assert_monotone,
+    ratio,
+)
+
+
+class TestRatio:
+    def test_ratio(self):
+        assert ratio(10.0, 2.0) == 5.0
+
+    def test_zero_denominator(self):
+        assert ratio(1.0, 0.0) == float("inf")
+
+
+class TestAssertFaster:
+    def test_passes(self):
+        assert_faster(1.0, 5.0, at_least=4.0)
+
+    def test_fails_with_context(self):
+        with pytest.raises(ShapeError, match="fig9"):
+            assert_faster(1.0, 2.0, at_least=4.0, context="fig9")
+
+
+class TestAssertBetween:
+    def test_passes_inclusive(self):
+        assert_between(1.0, 1.0, 2.0)
+        assert_between(2.0, 1.0, 2.0)
+
+    def test_fails(self):
+        with pytest.raises(ShapeError):
+            assert_between(3.0, 1.0, 2.0)
+
+
+class TestAssertMonotone:
+    def test_increasing(self):
+        assert_monotone([1.0, 2.0, 2.0, 3.0])
+
+    def test_decreasing(self):
+        assert_monotone([3.0, 2.0, 1.0], increasing=False)
+
+    def test_tolerance(self):
+        assert_monotone([1.0, 0.99, 2.0], tolerance=0.05)
+
+    def test_violation_reports_position(self):
+        with pytest.raises(ShapeError, match=r"values\[1\]"):
+            assert_monotone([1.0, 3.0, 2.0])

@@ -1,0 +1,112 @@
+"""Edge-case tests for the controller: solvers, bounds, clustering paths."""
+
+import pytest
+
+from repro.core.balancer import BalancerConfig, LoadBalancer
+
+
+class TestSolverSelection:
+    def test_binary_search_solver_produces_valid_weights(self):
+        balancer = LoadBalancer(3, BalancerConfig(solver="binary-search"))
+        balancer.update(0.0, [0.0, 0.0, 0.0])
+        weights = balancer.update(1.0, [0.9, 0.1, 0.0])
+        assert sum(weights) == 1000
+        assert weights[0] < weights[2]
+
+    def test_solvers_agree_on_identical_histories(self):
+        counters = [
+            [0.0, 0.0],
+            [0.8, 0.0],
+            [1.5, 0.1],
+            [2.0, 0.4],
+        ]
+        results = {}
+        for solver in ("fox", "binary-search"):
+            balancer = LoadBalancer(2, BalancerConfig(solver=solver))
+            for step, values in enumerate(counters):
+                weights = balancer.update(float(step), list(values))
+            results[solver] = weights
+        # Identical inputs, exact solvers: the adopted weights agree in
+        # the minimax objective (ties may pick different vectors).
+        fox, binary = results["fox"], results["binary-search"]
+        assert sum(fox) == sum(binary) == 1000
+
+
+class TestBoundsInteraction:
+    def test_weight_floor_keeps_everyone_probed(self):
+        balancer = LoadBalancer(4, BalancerConfig(weight_floor=20))
+        balancer.update(0.0, [0.0] * 4)
+        counters = [0.0] * 4
+        for step in range(1, 30):
+            counters[0] += 0.9
+            weights = balancer.update(float(step), list(counters))
+        assert min(weights) >= 20
+
+    def test_single_connection_degenerate(self):
+        balancer = LoadBalancer(1)
+        balancer.update(0.0, [0.0])
+        weights = balancer.update(1.0, [0.7])
+        assert weights == [1000]
+
+    def test_symmetric_decrease_bound(self):
+        balancer = LoadBalancer(
+            2, BalancerConfig(max_decrease=30, max_increase=30, hysteresis=0.0)
+        )
+        balancer.update(0.0, [0.0, 0.0])
+        weights = balancer.update(1.0, [0.9, 0.0])
+        assert weights == [470, 530]
+
+
+class TestClusteredEdgeCases:
+    def test_clustering_single_connection(self):
+        balancer = LoadBalancer(1, BalancerConfig(clustering=True))
+        balancer.update(0.0, [0.0])
+        assert balancer.update(1.0, [0.3]) == [1000]
+
+    def test_clustered_with_movement_bounds(self):
+        balancer = LoadBalancer(
+            6,
+            BalancerConfig(
+                clustering=True, max_increase=40, max_decrease=40,
+                hysteresis=0.0,
+            ),
+        )
+        balancer.update(0.0, [0.0] * 6)
+        counters = [0.0] * 6
+        previous = balancer.weights
+        for step in range(1, 12):
+            counters[step % 3] += 0.4
+            weights = balancer.update(float(step), list(counters))
+            assert sum(weights) == 1000
+            for old, new in zip(previous, weights):
+                assert old - 40 <= new <= old + 40
+            previous = weights
+
+    def test_cluster_threshold_zero_keeps_singletons(self):
+        balancer = LoadBalancer(
+            3, BalancerConfig(clustering=True, cluster_threshold=0.0)
+        )
+        balancer.update(0.0, [0.0] * 3)
+        balancer.update(1.0, [0.5, 0.5, 0.0])
+        assert all(len(c) == 1 for c in balancer.last_clusters)
+
+
+class TestHysteresisBehaviour:
+    def test_zero_hysteresis_adopts_any_improvement(self):
+        balancer = LoadBalancer(2, BalancerConfig(hysteresis=0.0))
+        balancer.update(0.0, [0.0, 0.0])
+        first = balancer.update(1.0, [0.2, 0.0])
+        assert first != [500, 500]
+
+    def test_rounds_counted(self):
+        balancer = LoadBalancer(2)
+        balancer.update(0.0, [0.0, 0.0])
+        balancer.update(1.0, [0.1, 0.0])
+        balancer.update(2.0, [0.2, 0.0])
+        assert balancer.rounds == 2
+
+    def test_last_rates_exposed(self):
+        balancer = LoadBalancer(2, BalancerConfig(rate_alpha=1.0))
+        balancer.update(0.0, [0.0, 0.0])
+        balancer.update(1.0, [0.25, 0.0])
+        assert balancer.last_rates == pytest.approx([0.25, 0.0])

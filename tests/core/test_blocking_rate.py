@@ -1,0 +1,53 @@
+"""Unit tests for the blocking-rate estimator."""
+
+import pytest
+
+from repro.core.blocking_rate import BlockingRateEstimator
+
+
+class TestSampling:
+    def test_first_sample_primes(self):
+        estimator = BlockingRateEstimator(2)
+        assert estimator.sample(0.0, [0.0, 0.0]) is None
+        assert not estimator.ready
+
+    def test_rates_after_two_samples(self):
+        estimator = BlockingRateEstimator(2, alpha=1.0)
+        estimator.sample(0.0, [0.0, 0.0])
+        rates = estimator.sample(1.0, [0.5, 0.0])
+        assert rates == pytest.approx([0.5, 0.0])
+        assert estimator.ready
+
+    def test_counter_reset_handled(self):
+        estimator = BlockingRateEstimator(1, alpha=1.0)
+        estimator.sample(0.0, [10.0])
+        rates = estimator.sample(1.0, [0.25])
+        assert rates == pytest.approx([0.25])
+
+    def test_counter_count_checked(self):
+        estimator = BlockingRateEstimator(2)
+        with pytest.raises(ValueError):
+            estimator.sample(0.0, [1.0])
+
+    def test_rates_default_zero(self):
+        estimator = BlockingRateEstimator(3)
+        assert estimator.rates == [0.0, 0.0, 0.0]
+
+    def test_reset(self):
+        estimator = BlockingRateEstimator(1)
+        estimator.sample(0.0, [0.0])
+        estimator.sample(1.0, [1.0])
+        estimator.reset()
+        assert not estimator.ready
+        assert estimator.sample(2.0, [5.0]) is None
+
+    def test_requires_connections(self):
+        with pytest.raises(ValueError):
+            BlockingRateEstimator(0)
+
+    def test_smoothing(self):
+        estimator = BlockingRateEstimator(1, alpha=0.5)
+        estimator.sample(0.0, [0.0])
+        estimator.sample(1.0, [1.0])  # raw 1.0 -> 1.0
+        rates = estimator.sample(2.0, [1.0])  # raw 0.0 -> 0.5
+        assert rates == pytest.approx([0.5])

@@ -1,0 +1,61 @@
+"""Unit tests for pool-adjacent-violators monotone regression."""
+
+import pytest
+
+from repro.core.monotone import is_non_decreasing, monotone_regression
+
+
+class TestBasics:
+    def test_empty(self):
+        assert monotone_regression([]) == []
+
+    def test_already_monotone_unchanged(self):
+        values = [0.0, 1.0, 1.0, 3.0]
+        assert monotone_regression(values) == values
+
+    def test_single_violation_pooled(self):
+        assert monotone_regression([1.0, 3.0, 2.0]) == [1.0, 2.5, 2.5]
+
+    def test_fully_decreasing_pools_to_mean(self):
+        fitted = monotone_regression([3.0, 2.0, 1.0])
+        assert fitted == [2.0, 2.0, 2.0]
+
+    def test_output_is_non_decreasing(self):
+        fitted = monotone_regression([5.0, 1.0, 4.0, 2.0, 8.0, 0.0])
+        assert is_non_decreasing(fitted)
+
+    def test_inputs_not_modified(self):
+        values = [3.0, 1.0]
+        monotone_regression(values)
+        assert values == [3.0, 1.0]
+
+
+class TestWeights:
+    def test_heavier_point_dominates_pool(self):
+        # Pooling (3.0, w=3) with (1.0, w=1) -> weighted mean 2.5.
+        fitted = monotone_regression([3.0, 1.0], [3.0, 1.0])
+        assert fitted == [2.5, 2.5]
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            monotone_regression([1.0, 2.0], [1.0])
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            monotone_regression([1.0], [0.0])
+
+    def test_weighted_mean_preserved(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        weights = [1.0, 2.0, 1.0, 2.0]
+        fitted = monotone_regression(values, weights)
+        raw_mean = sum(v * w for v, w in zip(values, weights))
+        fit_mean = sum(v * w for v, w in zip(fitted, weights))
+        assert fit_mean == pytest.approx(raw_mean)
+
+
+class TestIsNonDecreasing:
+    def test_detects_violation(self):
+        assert not is_non_decreasing([1.0, 0.5])
+
+    def test_tolerance(self):
+        assert is_non_decreasing([1.0, 0.999], tol=0.01)

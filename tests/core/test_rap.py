@@ -1,0 +1,121 @@
+"""Unit tests for the minimax separable RAP solvers."""
+
+import pytest
+
+from repro.core.constraints import WeightConstraints
+from repro.core.rap import (
+    InfeasibleError,
+    objective,
+    solve_minimax_binary_search,
+    solve_minimax_bruteforce,
+    solve_minimax_fox,
+)
+
+SOLVERS = [solve_minimax_fox, solve_minimax_binary_search]
+
+
+def linear(slope):
+    return lambda w: slope * w
+
+
+@pytest.mark.parametrize("solve", SOLVERS)
+class TestExactness:
+    def test_identical_linear_functions_split_evenly(self, solve):
+        weights = solve([linear(1.0)] * 4, 100)
+        assert sum(weights) == 100
+        assert objective([linear(1.0)] * 4, weights) == pytest.approx(25.0)
+
+    def test_capacity_proportional_split(self, solve):
+        # F_j(w) = w / capacity_j: minimax puts weight proportional to
+        # capacity.
+        functions = [lambda w: w / 3.0, lambda w: w / 1.0]
+        weights = solve(functions, 100)
+        assert weights == [75, 25]
+
+    def test_matches_bruteforce_on_small_instances(self, solve):
+        functions = [
+            lambda w: max(0.0, w - 5) ** 2,
+            lambda w: 0.5 * w,
+            lambda w: 2.0 * w,
+        ]
+        for total in (6, 10, 15):
+            got = solve(functions, total)
+            best = solve_minimax_bruteforce(functions, total)
+            assert sum(got) == total
+            assert objective(functions, got) == pytest.approx(
+                objective(functions, best)
+            )
+
+    def test_respects_bounds(self, solve):
+        constraints = WeightConstraints(minima=(2, 0), maxima=(5, 10))
+        weights = solve([linear(1.0), linear(1.0)], 10, constraints)
+        assert weights[0] >= 2 and weights[0] <= 5
+        assert sum(weights) == 10
+
+    def test_forced_minimum_dominates_objective(self, solve):
+        # Connection 0 is forced to at least 8 on a steep function.
+        constraints = WeightConstraints(minima=(8, 0), maxima=(10, 10))
+        functions = [linear(10.0), linear(0.1)]
+        weights = solve(functions, 10, constraints)
+        assert weights[0] == 8
+        assert weights[1] == 2
+
+    def test_flat_zero_functions_fill_feasibly(self, solve):
+        weights = solve([lambda w: 0.0] * 3, 9)
+        assert sum(weights) == 9
+
+    def test_infeasible_minima(self, solve):
+        constraints = WeightConstraints(minima=(6, 6), maxima=(10, 10))
+        with pytest.raises(InfeasibleError):
+            solve([linear(1.0)] * 2, 10, constraints)
+
+    def test_infeasible_maxima(self, solve):
+        constraints = WeightConstraints(minima=(0, 0), maxima=(3, 3))
+        with pytest.raises(InfeasibleError):
+            solve([linear(1.0)] * 2, 10, constraints)
+
+    def test_mismatched_constraints_rejected(self, solve):
+        constraints = WeightConstraints(minima=(0,), maxima=(5,))
+        with pytest.raises(ValueError):
+            solve([linear(1.0)] * 2, 5, constraints)
+
+
+class TestSolverAgreement:
+    def test_fox_and_binary_search_agree_on_objective(self):
+        functions = [
+            lambda w: max(0.0, (w - 10)) * 0.3,
+            lambda w: 0.05 * w * w / 10.0,
+            lambda w: 0.0 if w < 20 else (w - 20) * 1.0,
+            lambda w: 0.6 * w,
+        ]
+        constraints = WeightConstraints(minima=(0, 5, 0, 0), maxima=(40, 40, 25, 40))
+        fox = solve_minimax_fox(functions, 60, constraints)
+        binary = solve_minimax_binary_search(functions, 60, constraints)
+        assert sum(fox) == sum(binary) == 60
+        assert objective(functions, fox) == pytest.approx(
+            objective(functions, binary)
+        )
+
+
+class TestObjectiveHelper:
+    def test_objective(self):
+        assert objective([linear(1.0), linear(2.0)], [3, 4]) == 8.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            objective([linear(1.0)], [1, 2])
+
+
+class TestValidation:
+    def test_empty_functions_rejected(self):
+        with pytest.raises(ValueError):
+            solve_minimax_fox([], 10)
+
+    def test_non_positive_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            solve_minimax_fox([linear(1.0)], 0)
+
+    def test_maxima_above_resolution_rejected(self):
+        constraints = WeightConstraints(minima=(0,), maxima=(20,))
+        with pytest.raises(ValueError):
+            solve_minimax_fox([linear(1.0)], 10, constraints)

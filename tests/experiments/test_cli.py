@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(["sweep", "--pes", "2,4", "--dynamic"])
+        assert args.pes == "2,4"
+        assert args.dynamic
+
+
+class TestCommands:
+    def test_list_prints_every_figure(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for bench in ("bench_fig02", "bench_fig12", "bench_sec44"):
+            assert bench in out
+
+    def test_unknown_figure_fails(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_sec44_runs(self, capsys):
+        assert main(["figure", "sec44"]) == 0
+        out = capsys.readouterr().out
+        assert "rerouted" in out
+        assert "gain" in out
+
+    @pytest.mark.slow
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "allocation weights over time" in out

@@ -1,0 +1,61 @@
+"""Tests for end-to-end region latency measurement."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, HostSpec
+from repro.experiments.runner import run_experiment
+from repro.workloads.external_load import LoadSchedule
+
+
+def config(**overrides):
+    defaults = dict(
+        name="latency",
+        n_workers=2,
+        tuple_cost=1_000.0,
+        host_specs=[HostSpec("h", cores=8, thread_speed=2e5)],
+        worker_host=[0, 0],
+        duration=60.0,
+        splitter_cost_multiplies=125.0,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestLatencyMeasurement:
+    def test_latency_series_recorded(self):
+        result = run_experiment(config(), "rr")
+        assert len(result.latency_series) > 10
+        assert all(v >= 0 for _t, v in result.latency_series)
+
+    def test_latency_reflects_queueing(self):
+        # In a saturated region every tuple crosses full buffers; latency
+        # must be at least the pipeline's service backlog, far above one
+        # bare service time (5 ms at this scale).
+        result = run_experiment(config(), "rr")
+        assert result.final_latency() > 0.05
+
+    def test_unsaturated_region_has_low_latency(self):
+        # A slow splitter (no queueing anywhere): latency ~ one service.
+        slow_source = config(splitter_cost_multiplies=4_000.0)
+        result = run_experiment(slow_source, "rr")
+        assert result.final_latency() < 0.05
+
+    def test_capacity_aware_weights_cut_latency(self):
+        # With one 10x worker, RR queues everything behind the slow PE.
+        # Capacity-proportional weights (Oracle*) slash the region
+        # latency; the learned balancer matches RR's latency at worst
+        # (its exploration keeps re-probing the slow connection) while
+        # multiplying throughput.
+        loaded = config(
+            load_schedule=LoadSchedule.static_load([0], 10.0),
+            duration=120.0,
+        )
+        rr = run_experiment(loaded, "rr")
+        oracle = run_experiment(loaded, "oracle")
+        lb = run_experiment(loaded, "lb-adaptive")
+        assert oracle.final_latency() < 0.5 * rr.final_latency(), (
+            oracle.final_latency(),
+            rr.final_latency(),
+        )
+        assert lb.final_latency() < 1.2 * rr.final_latency()
+        assert lb.final_throughput() > 3.0 * rr.final_throughput()

@@ -1,0 +1,93 @@
+"""Unit tests for Oracle* weight computation."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, HostSpec
+from repro.experiments.oracle import (
+    oracle_schedule,
+    proportional_weights,
+    worker_capacities,
+)
+from repro.workloads.external_load import LoadSchedule
+
+
+class TestProportionalWeights:
+    def test_sums_to_resolution(self):
+        weights = proportional_weights([1.0, 2.0, 3.0], 1000)
+        assert sum(weights) == 1000
+
+    def test_proportionality(self):
+        assert proportional_weights([3.0, 1.0], 1000) == [750, 250]
+
+    def test_largest_remainder_rounding(self):
+        weights = proportional_weights([1.0, 1.0, 1.0], 100)
+        assert sorted(weights) == [33, 33, 34]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            proportional_weights([], 100)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            proportional_weights([0.0, 0.0], 100)
+
+
+def config_with_load(schedule, n=4):
+    return ExperimentConfig(
+        name="test",
+        n_workers=n,
+        tuple_cost=1000.0,
+        host_specs=[HostSpec("h", cores=8, thread_speed=1e6)],
+        worker_host=[0] * n,
+        load_schedule=schedule,
+        duration=10.0,
+    )
+
+
+class TestWorkerCapacities:
+    def test_unloaded_capacities_equal(self):
+        config = config_with_load(LoadSchedule.none())
+        capacities = worker_capacities(config, 0.0)
+        assert capacities == [pytest.approx(1000.0)] * 4
+
+    def test_load_divides_capacity(self):
+        config = config_with_load(LoadSchedule.static_load([0], 10.0))
+        capacities = worker_capacities(config, 0.0)
+        assert capacities[0] == pytest.approx(100.0)
+        assert capacities[1] == pytest.approx(1000.0)
+
+    def test_explicit_multipliers_override(self):
+        config = config_with_load(LoadSchedule.static_load([0], 10.0))
+        capacities = worker_capacities(
+            config, 0.0, multipliers=[1.0, 1.0, 1.0, 1.0]
+        )
+        assert capacities[0] == pytest.approx(1000.0)
+
+    def test_host_sharing_accounted(self):
+        config = ExperimentConfig(
+            name="t",
+            n_workers=16,
+            tuple_cost=1000.0,
+            host_specs=[HostSpec("h", cores=8, thread_speed=1e6)],
+            worker_host=[0] * 16,
+            duration=1.0,
+        )
+        capacities = worker_capacities(config, 0.0)
+        # 16 PEs on 8 threads: each runs at half speed.
+        assert capacities[0] == pytest.approx(500.0)
+
+
+class TestOracleSchedule:
+    def test_static_schedule_has_single_entry(self):
+        config = config_with_load(LoadSchedule.static_load([0, 1], 10.0))
+        schedule = oracle_schedule(config)
+        assert list(schedule) == [0.0]
+        weights = schedule[0.0]
+        assert weights[0] == weights[1] < weights[2]
+
+    def test_dynamic_schedule_switches_at_change(self):
+        config = config_with_load(LoadSchedule.removed_at([0], 10.0, 5.0))
+        schedule = oracle_schedule(config)
+        assert sorted(schedule) == [0.0, 5.0]
+        assert schedule[0.0][0] < schedule[0.0][1]
+        assert max(schedule[5.0]) - min(schedule[5.0]) <= 1

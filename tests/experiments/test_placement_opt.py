@@ -1,0 +1,95 @@
+"""Tests for cluster-wide placement (the Section 8 extension)."""
+
+import itertools
+
+import pytest
+
+from repro.experiments.config import HostSpec
+from repro.experiments.placement_opt import (
+    capacity_of,
+    marginal_capacity,
+    plan_placement,
+)
+
+
+def hosts():
+    slow = HostSpec.slow(1e5)  # 8 threads at 1e5
+    fast = HostSpec.fast(1e5)  # 16 threads at 1.857e5
+    return [slow, fast]
+
+
+class TestMarginalCapacity:
+    def test_full_thread_then_smt_then_zero(self):
+        fast = HostSpec("fast", cores=2, smt_per_core=2, thread_speed=100.0,
+                        smt_efficiency=0.5)
+        assert marginal_capacity(fast, 0) == 100.0
+        assert marginal_capacity(fast, 1) == 100.0
+        assert marginal_capacity(fast, 2) == 50.0  # SMT thread
+        assert marginal_capacity(fast, 3) == 50.0
+        assert marginal_capacity(fast, 4) == 0.0  # oversubscribed
+
+    def test_marginals_non_increasing(self):
+        for spec in hosts():
+            marginals = [marginal_capacity(spec, k) for k in range(30)]
+            assert marginals == sorted(marginals, reverse=True)
+
+
+class TestPlanPlacement:
+    def test_reproduces_figure11_24pe_split(self):
+        # The paper's best 24-PE configuration: 16 on fast, 8 on slow.
+        plan = plan_placement(hosts(), 24)
+        assert plan.per_host == [8, 16]
+
+    def test_prefers_fast_host_first(self):
+        plan = plan_placement(hosts(), 8)
+        assert plan.per_host == [0, 8]
+
+    def test_fills_slow_before_oversubscribing_fast(self):
+        # Beyond the fast host's 16 threads, slow threads are worth more
+        # than nothing.
+        plan = plan_placement(hosts(), 17)
+        assert plan.per_host[0] >= 1
+
+    def test_total_capacity_matches_assignment(self):
+        plan = plan_placement(hosts(), 24)
+        assert plan.total_capacity == pytest.approx(
+            capacity_of(hosts(), plan.per_host)
+        )
+
+    def test_greedy_is_optimal_for_small_instances(self):
+        specs = [
+            HostSpec("a", cores=2, smt_per_core=2, thread_speed=70.0,
+                     smt_efficiency=0.6),
+            HostSpec("b", cores=3, smt_per_core=1, thread_speed=100.0),
+            HostSpec("c", cores=1, smt_per_core=2, thread_speed=150.0,
+                     smt_efficiency=0.3),
+        ]
+        for n in (1, 3, 5, 8, 11):
+            plan = plan_placement(specs, n)
+            best = max(
+                (
+                    capacity_of(specs, split)
+                    for split in itertools.product(range(n + 1), repeat=3)
+                    if sum(split) == n
+                ),
+            )
+            assert plan.total_capacity == pytest.approx(best), n
+
+    def test_worker_host_consistent_with_per_host(self):
+        plan = plan_placement(hosts(), 10)
+        for h in range(2):
+            assert plan.worker_host.count(h) == plan.per_host[h]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_placement([], 3)
+        with pytest.raises(ValueError):
+            plan_placement(hosts(), 0)
+        with pytest.raises(ValueError):
+            capacity_of(hosts(), [1, 2, 3])
+
+    def test_deterministic_tie_breaking(self):
+        twins = [HostSpec("a", cores=2, thread_speed=100.0),
+                 HostSpec("b", cores=2, thread_speed=100.0)]
+        plan = plan_placement(twins, 3)
+        assert plan.per_host == [2, 1]

@@ -1,0 +1,73 @@
+"""Unit tests for sweep rows, normalization, and the sweep driver."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, HostSpec
+from repro.experiments.results import SweepRow, format_sweep_table, normalize_to
+from repro.experiments.sweep import run_sweep
+from repro.workloads.external_load import LoadSchedule
+
+
+class TestNormalization:
+    def test_normalized_to_baseline_per_pe_count(self):
+        rows = [
+            SweepRow(2, "oracle", 10.0, 100.0),
+            SweepRow(2, "rr", 40.0, 100.0),
+            SweepRow(4, "oracle", 5.0, 200.0),
+            SweepRow(4, "rr", 30.0, 200.0),
+        ]
+        normalize_to(rows, "oracle")
+        by = {(r.n_pes, r.policy): r for r in rows}
+        assert by[(2, "oracle")].normalized_time == pytest.approx(1.0)
+        assert by[(2, "rr")].normalized_time == pytest.approx(4.0)
+        assert by[(4, "rr")].normalized_time == pytest.approx(6.0)
+
+    def test_missing_baseline_leaves_none(self):
+        rows = [SweepRow(2, "rr", 40.0, 100.0)]
+        normalize_to(rows, "oracle")
+        assert rows[0].normalized_time is None
+
+    def test_incomplete_run_leaves_none(self):
+        rows = [
+            SweepRow(2, "oracle", 10.0, 100.0),
+            SweepRow(2, "rr", None, 100.0),
+        ]
+        normalize_to(rows, "oracle")
+        assert rows[1].normalized_time is None
+
+
+class TestFormatting:
+    def test_table_contains_policies_and_sizes(self):
+        rows = [
+            SweepRow(2, "oracle", 10.0, 123.0, normalized_time=1.0),
+            SweepRow(2, "rr", 40.0, 99.0, normalized_time=4.0),
+        ]
+        table = format_sweep_table(rows, title="demo")
+        assert "demo" in table
+        assert "oracle" in table and "rr" in table
+        assert "4.00x" in table
+        assert "123.0" in table
+
+    def test_incomplete_cells_render_dash(self):
+        rows = [SweepRow(2, "rr", None, 0.0)]
+        assert "-" in format_sweep_table(rows)
+
+
+class TestRunSweep:
+    def test_grid_runs_every_cell(self):
+        def factory(n):
+            return ExperimentConfig(
+                name=f"grid-{n}",
+                n_workers=n,
+                tuple_cost=1000.0,
+                host_specs=[HostSpec("h", cores=8, thread_speed=2e5)],
+                worker_host=[0] * n,
+                load_schedule=LoadSchedule.static_load([0], 10.0),
+                total_tuples=1500,
+            )
+
+        rows = run_sweep(factory, [2, 4], ["oracle", "rr"])
+        assert len(rows) == 4
+        by = {(r.n_pes, r.policy): r for r in rows}
+        assert by[(2, "oracle")].normalized_time == pytest.approx(1.0)
+        assert by[(2, "rr")].normalized_time > 1.0

@@ -1,0 +1,151 @@
+"""Integration tests for the experiment runner."""
+
+import pytest
+
+from repro.core.balancer import BalancerConfig
+from repro.experiments.config import ExperimentConfig, HostSpec
+from repro.experiments.runner import run_experiment
+from repro.workloads.external_load import LoadSchedule
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        name="quick",
+        n_workers=2,
+        tuple_cost=1000.0,
+        host_specs=[HostSpec("h", cores=8, thread_speed=2e5)],
+        worker_host=[0, 0],
+        total_tuples=2000,
+        splitter_cost_multiplies=125.0,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestFiniteRuns:
+    def test_rr_completes_budget(self):
+        result = run_experiment(quick_config(), "rr")
+        assert result.completed
+        assert result.emitted == 2000
+        assert result.execution_time is not None
+        assert result.execution_time <= result.sim_time
+
+    def test_execution_time_reflects_capacity(self):
+        fast = run_experiment(quick_config(), "rr")
+        slow = run_experiment(
+            quick_config(load_schedule=LoadSchedule.static_load([0], 10.0)),
+            "rr",
+        )
+        assert slow.execution_time > 2.0 * fast.execution_time
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(quick_config(), "magic")
+
+    def test_fixed_policy_requires_weights(self):
+        with pytest.raises(ValueError):
+            run_experiment(quick_config(), "fixed")
+        with pytest.raises(ValueError):
+            run_experiment(quick_config(), "rr", fixed_weights=[500, 500])
+
+    def test_fixed_weights_steer_traffic(self):
+        result = run_experiment(
+            quick_config(), "fixed", fixed_weights=[900, 100]
+        )
+        assert result.completed
+        assert result.final_weights == [900, 100]
+
+
+class TestSeriesRecording:
+    def test_series_recorded_per_connection(self):
+        config = quick_config(total_tuples=None, duration=20.0)
+        result = run_experiment(config, "lb-adaptive")
+        assert len(result.weight_series) == 2
+        assert len(result.rate_series) == 2
+        assert len(result.weight_series[0]) >= 15
+        assert len(result.throughput_series) >= 15
+
+    def test_record_series_can_be_disabled(self):
+        config = quick_config(total_tuples=None, duration=10.0)
+        result = run_experiment(config, "lb-adaptive", record_series=False)
+        assert len(result.weight_series[0]) == 0
+        assert len(result.throughput_series) >= 5  # throughput always kept
+
+    def test_counter_reset_interval_supported(self):
+        config = quick_config(total_tuples=None, duration=10.0)
+        result = run_experiment(config, "rr", counter_reset_interval=2.0)
+        assert result.emitted > 0
+
+
+class TestPolicies:
+    def test_lb_static_forced_decay_zero(self):
+        config = quick_config(
+            total_tuples=None,
+            duration=15.0,
+            balancer=BalancerConfig(decay=0.1),
+        )
+        result = run_experiment(config, "lb-static")
+        assert result.policy == "lb-static"
+
+    def test_oracle_weights_track_capacity(self):
+        config = quick_config(
+            load_schedule=LoadSchedule.static_load([0], 10.0),
+            total_tuples=4000,
+        )
+        result = run_experiment(config, "oracle")
+        assert result.final_weights[0] < result.final_weights[1]
+        assert result.completed
+
+    def test_oracle_switches_on_progress_trigger(self):
+        config = quick_config(
+            load_schedule=LoadSchedule.removed_after_emitted([0], 10.0, 500),
+            total_tuples=4000,
+        )
+        result = run_experiment(config, "oracle")
+        # After removal the oracle returns to an even distribution.
+        assert abs(result.final_weights[0] - result.final_weights[1]) <= 1
+
+    def test_reroute_reports_fraction(self):
+        config = quick_config(
+            load_schedule=LoadSchedule.static_load([0], 100.0),
+            total_tuples=3000,
+            tuple_cost=1000.0,
+        )
+        result = run_experiment(config, "reroute")
+        assert result.rerouted > 0
+        assert 0.0 < result.reroute_fraction() < 1.0
+
+    def test_lb_beats_rr_under_imbalance(self):
+        config = quick_config(
+            load_schedule=LoadSchedule.static_load([0], 10.0),
+            total_tuples=6000,
+        )
+        rr = run_experiment(config, "rr")
+        lb = run_experiment(config, "lb-adaptive")
+        assert lb.completed and rr.completed
+        assert lb.execution_time < rr.execution_time
+
+
+class TestProgressTriggeredLoad:
+    def test_load_removed_after_emitted(self):
+        config = quick_config(
+            load_schedule=LoadSchedule.removed_after_emitted([0], 50.0, 1000),
+            total_tuples=3000,
+        )
+        result = run_experiment(config, "rr")
+        assert result.completed
+        # Post-removal throughput should dominate the final window.
+        pre = run_experiment(
+            quick_config(
+                load_schedule=LoadSchedule.static_load([0], 50.0),
+                total_tuples=3000,
+            ),
+            "rr",
+        )
+        assert result.execution_time < pre.execution_time
+
+    def test_summary_is_readable(self):
+        result = run_experiment(quick_config(), "rr")
+        text = result.summary()
+        assert "policy=rr" in text
+        assert "execution_time" in text

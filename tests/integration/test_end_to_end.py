@@ -1,0 +1,162 @@
+"""End-to-end integration tests: the paper's headline behaviours.
+
+Scaled-down versions of the Section 6 experiments (full-size versions live
+in ``benchmarks/``). Each test runs the complete stack — source, splitter,
+connections, workers, ordered merger, controller — and checks one claim.
+"""
+
+import pytest
+
+from repro.core.balancer import BalancerConfig
+from repro.experiments.config import ExperimentConfig, HostSpec
+from repro.experiments.runner import run_experiment
+from repro.workloads.external_load import LoadSchedule
+
+
+def config(**overrides):
+    defaults = dict(
+        name="e2e",
+        n_workers=3,
+        tuple_cost=1_000.0,
+        host_specs=[HostSpec("h", cores=8, thread_speed=2e6)],
+        worker_host=[0, 0, 0],
+        duration=120.0,
+        splitter_cost_multiplies=300.0,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestSequentialSemantics:
+    def test_every_tuple_exits_exactly_once_in_order(self):
+        cfg = config(total_tuples=5_000, duration=None)
+        result = run_experiment(cfg, "lb-adaptive")
+        assert result.completed
+        assert result.emitted == 5_000  # the merger enforces order; any
+        # violation raises inside the run.
+
+
+class TestLoadImbalanceDetection:
+    def test_loaded_connection_starved(self):
+        # Section 6.1's core behaviour: a 100x-loaded PE's allocation
+        # weight collapses to a trickle within tens of control rounds.
+        cfg = config(load_schedule=LoadSchedule.static_load([0], 100.0))
+        result = run_experiment(cfg, "lb-adaptive")
+        final = result.weight_series[0].value_at(119.0)
+        assert final < 100, f"loaded connection still at {final}"
+
+    def test_weights_recover_after_load_removal(self):
+        cfg = config(
+            duration=400.0,
+            load_schedule=LoadSchedule.removed_at([0], 100.0, 50.0),
+        )
+        result = run_experiment(cfg, "lb-adaptive")
+        during_load = result.mean_weight(0, 20.0, 50.0)
+        after_recovery = result.mean_weight(0, 300.0, 400.0)
+        assert during_load < 120
+        assert after_recovery > 2.0 * during_load
+
+    def test_static_does_not_recover(self):
+        cfg = config(
+            duration=400.0,
+            load_schedule=LoadSchedule.removed_at([0], 100.0, 50.0),
+        )
+        adaptive = run_experiment(cfg, "lb-adaptive")
+        static = run_experiment(cfg, "lb-static")
+        assert (
+            static.mean_weight(0, 300.0, 400.0)
+            < adaptive.mean_weight(0, 300.0, 400.0)
+        )
+
+
+class TestEqualCapacityStability:
+    def test_converges_near_even_split(self):
+        # Section 6.2: equal capacity, heavy tuples, drafting — the model
+        # must detect equal capacity despite one connection absorbing all
+        # the blocking.
+        cfg = ExperimentConfig(
+            name="equal",
+            n_workers=3,
+            tuple_cost=10_000.0,
+            host_specs=[HostSpec("h", cores=8, thread_speed=2e5)],
+            worker_host=[0, 0, 0],
+            duration=300.0,
+            splitter_cost_multiplies=2_500.0,
+        )
+        result = run_experiment(cfg, "lb-adaptive")
+        final = [result.weight_series[j].value_at(299.0) for j in range(3)]
+        assert max(final) - min(final) < 320, final
+        # Throughput within 15% of the even-split ideal (60 tuples/s).
+        assert result.final_throughput() > 0.85 * 60.0
+
+
+class TestHeterogeneousHosts:
+    def test_fast_host_earns_larger_share(self):
+        # Figure 11 top: a fast host (1.857x per-thread) should stabilize
+        # near a 65/35 split.
+        slow = HostSpec.slow(2e5)
+        fast = HostSpec.fast(2e5)
+        cfg = ExperimentConfig(
+            name="hetero",
+            n_workers=2,
+            tuple_cost=20_000.0,
+            host_specs=[slow, fast],
+            worker_host=[1, 0],
+            duration=300.0,
+            splitter_cost_multiplies=7_000.0,
+        )
+        result = run_experiment(cfg, "lb-adaptive")
+        fast_share = result.mean_weight(0, 100.0, 300.0) / 1000.0
+        assert 0.55 < fast_share < 0.80, fast_share
+
+
+class TestBaselines:
+    def test_policy_ordering_under_static_imbalance(self):
+        # Oracle* <= LB-adaptive < RR in execution time (Figure 9 left).
+        cfg = config(
+            n_workers=4,
+            worker_host=[0, 0, 0, 0],
+            load_schedule=LoadSchedule.half_loaded(4, 10.0),
+            total_tuples=30_000,
+            duration=None,
+            splitter_cost_multiplies=125.0,
+        )
+        times = {
+            policy: run_experiment(cfg, policy).execution_time
+            for policy in ("oracle", "lb-adaptive", "rr")
+        }
+        assert times["oracle"] <= times["lb-adaptive"] <= times["rr"]
+        assert times["rr"] > 2.0 * times["lb-adaptive"]
+
+    def test_rerouting_moves_few_tuples(self):
+        # Section 4.4: the transport-level re-routing baseline re-routes
+        # a small fraction of tuples — blocking is a late signal, so by
+        # the time it fires most of the stream is already buffered.
+        from repro.experiments.figures import sec44_config
+
+        result = run_experiment(sec44_config(1_000), "reroute")
+        assert 0.0 < result.reroute_fraction() < 0.05
+
+
+class TestClusteringEndToEnd:
+    @pytest.mark.slow
+    def test_three_load_classes_sorted(self):
+        n = 16
+        loads = {j: 100.0 for j in range(4)} | {j: 5.0 for j in range(4, 8)}
+        cfg = ExperimentConfig(
+            name="cluster-e2e",
+            n_workers=n,
+            tuple_cost=10_000.0,
+            host_specs=[HostSpec("h", cores=n, thread_speed=2e6)],
+            worker_host=[0] * n,
+            load_schedule=LoadSchedule(initial=loads),
+            duration=600.0,
+            sample_interval=2.0,
+            splitter_cost_multiplies=2_000.0,
+            balancer=BalancerConfig(clustering=True, cluster_threshold=1.0),
+        )
+        result = run_experiment(cfg, "lb-adaptive")
+        heavy = sum(result.weight_series[j].value_at(599.0) for j in range(4)) / 4
+        light = sum(result.weight_series[j].value_at(599.0) for j in range(8, 16)) / 8
+        assert heavy < light, (heavy, light)
+        assert result.cluster_snapshots, "clustering snapshots missing"

@@ -1,0 +1,47 @@
+"""Unit tests for the cumulative blocking counter."""
+
+import pytest
+
+from repro.net.blocking import BlockingCounter
+
+
+class TestAccumulation:
+    def test_starts_at_zero(self):
+        counter = BlockingCounter()
+        assert counter.read() == 0.0
+        assert counter.episodes == 0
+
+    def test_add_accumulates(self):
+        counter = BlockingCounter()
+        counter.add(0.5)
+        counter.add(0.25)
+        assert counter.read() == pytest.approx(0.75)
+        assert counter.episodes == 2
+
+    def test_zero_duration_episode_counts(self):
+        counter = BlockingCounter()
+        counter.add(0.0)
+        assert counter.episodes == 1
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            BlockingCounter().add(-0.1)
+
+
+class TestReset:
+    def test_reset_clears_current_not_lifetime(self):
+        counter = BlockingCounter()
+        counter.add(1.0)
+        counter.reset()
+        assert counter.read() == 0.0
+        assert counter.episodes == 0
+        assert counter.lifetime_seconds == 1.0
+        assert counter.lifetime_episodes == 1
+
+    def test_accumulation_resumes_after_reset(self):
+        counter = BlockingCounter()
+        counter.add(1.0)
+        counter.reset()
+        counter.add(0.5)
+        assert counter.read() == 0.5
+        assert counter.lifetime_seconds == 1.5

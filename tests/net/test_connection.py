@@ -1,0 +1,128 @@
+"""Unit tests for the simulated connection (flow control, wakeups, delays)."""
+
+import pytest
+
+from repro.net.connection import SimulatedConnection
+from repro.sim.engine import Simulator
+
+
+def make_connection(sim=None, **kwargs):
+    return SimulatedConnection(sim or Simulator(), 0, **kwargs)
+
+
+class TestImmediateDelivery:
+    def test_send_lands_in_receive_buffer(self):
+        conn = make_connection()
+        assert conn.send_nowait("t0")
+        assert conn.recv_available() == 1
+        assert conn.take() == "t0"
+
+    def test_delivery_callback_fires(self):
+        delivered = []
+        conn = make_connection()
+        conn.on_deliver = lambda: delivered.append(conn.recv_available())
+        conn.send_nowait("t0")
+        assert delivered == [1]
+
+    def test_counters(self):
+        conn = make_connection()
+        conn.send_nowait("a")
+        conn.send_nowait("b")
+        assert conn.tuples_sent == 2
+        assert conn.tuples_delivered == 2
+
+
+class TestFlowControl:
+    def test_send_buffer_backs_up_when_receiver_full(self):
+        conn = make_connection(send_capacity=2, recv_capacity=2)
+        for i in range(4):
+            assert conn.send_nowait(i)
+        assert not conn.can_send()
+        assert not conn.send_nowait(99)
+        assert conn.queued_tuples() == 4
+
+    def test_take_cascades_through_both_buffers(self):
+        conn = make_connection(send_capacity=2, recv_capacity=2)
+        for i in range(4):
+            conn.send_nowait(i)
+        assert conn.take() == 0
+        # One send-buffer tuple moved into the freed receive slot.
+        assert conn.recv_available() == 2
+        assert conn.can_send()
+
+    def test_fifo_order_end_to_end(self):
+        conn = make_connection(send_capacity=2, recv_capacity=2)
+        accepted = [i for i in range(10) if conn.send_nowait(i)]
+        received = []
+        while conn.recv_available():
+            received.append(conn.take())
+        assert received == accepted
+
+
+class TestSenderWakeup:
+    def test_waiter_fires_when_space_frees(self):
+        conn = make_connection(send_capacity=1, recv_capacity=1)
+        conn.send_nowait("a")
+        conn.send_nowait("b")
+        woken = []
+        conn.wait_for_send_space(lambda: woken.append(True))
+        assert not woken
+        conn.take()
+        assert woken == [True]
+
+    def test_waiter_is_one_shot(self):
+        conn = make_connection(send_capacity=1, recv_capacity=1)
+        conn.send_nowait("a")
+        conn.send_nowait("b")
+        woken = []
+        conn.wait_for_send_space(lambda: woken.append(True))
+        conn.take()
+        conn.take()
+        assert woken == [True]
+
+    def test_double_wait_rejected(self):
+        conn = make_connection(send_capacity=1, recv_capacity=1)
+        conn.send_nowait("a")
+        conn.send_nowait("b")
+        conn.wait_for_send_space(lambda: None)
+        with pytest.raises(RuntimeError):
+            conn.wait_for_send_space(lambda: None)
+
+    def test_wait_with_space_available_rejected(self):
+        conn = make_connection()
+        with pytest.raises(RuntimeError):
+            conn.wait_for_send_space(lambda: None)
+
+
+class TestWireDelay:
+    def test_delayed_tuple_arrives_after_latency(self):
+        sim = Simulator()
+        conn = make_connection(sim, wire_delay=0.5)
+        conn.send_nowait("t0")
+        assert conn.recv_available() == 0
+        sim.run_until(0.49)
+        assert conn.recv_available() == 0
+        sim.run_until(0.51)
+        assert conn.recv_available() == 1
+
+    def test_in_flight_tuples_reserve_receive_space(self):
+        sim = Simulator()
+        conn = make_connection(sim, send_capacity=8, recv_capacity=2, wire_delay=1.0)
+        for i in range(4):
+            conn.send_nowait(i)
+        # Two in flight (reserved), two parked in the send buffer.
+        assert conn.queued_tuples() == 4
+        sim.run_until(2.0)
+        assert conn.recv_available() == 2
+
+    def test_order_preserved_with_delay(self):
+        sim = Simulator()
+        conn = make_connection(sim, wire_delay=0.1)
+        for i in range(5):
+            conn.send_nowait(i)
+        sim.run_until(1.0)
+        assert [conn.take() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            make_connection(wire_delay=-0.1)

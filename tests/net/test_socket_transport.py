@@ -1,0 +1,110 @@
+"""Integration tests for the real-socket transport.
+
+These exercise real OS sockets (AF_UNIX socket pairs) and kernel buffers;
+they are skipped automatically when the environment forbids sockets.
+"""
+
+import socket
+
+import pytest
+
+from repro.net.socket_transport import BlockingSocketSender, SocketMiniRegion
+
+
+def _sockets_available() -> bool:
+    try:
+        left, right = socket.socketpair()
+        left.close()
+        right.close()
+        return True
+    except OSError:
+        return False
+
+
+pytestmark = [
+    pytest.mark.sockets,
+    pytest.mark.skipif(not _sockets_available(), reason="no socketpair support"),
+]
+
+
+class TestBlockingSocketSender:
+    def test_send_without_pressure_records_no_blocking(self):
+        left, right = socket.socketpair()
+        try:
+            sender = BlockingSocketSender(left)
+            sender.send(b"x" * 64)
+            assert sender.frames_sent == 1
+            assert sender.blocking.read() == 0.0
+        finally:
+            left.close()
+            right.close()
+
+    def test_try_send_reports_would_block(self):
+        left, right = socket.socketpair()
+        try:
+            for sock in (left, right):
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 2048)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 2048)
+            sender = BlockingSocketSender(left)
+            frame = b"x" * 1024
+            blocked = False
+            for _ in range(1000):
+                if not sender.try_send(frame):
+                    blocked = True
+                    break
+            assert blocked, "kernel buffers never filled"
+            assert sender.blocking.read() == 0.0  # try_send never blocks
+        finally:
+            left.close()
+            right.close()
+
+    def test_send_blocks_and_records_time(self):
+        left, right = socket.socketpair()
+        try:
+            for sock in (left, right):
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 2048)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 2048)
+            sender = BlockingSocketSender(left)
+            frame = b"x" * 1024
+
+            import threading
+
+            def slow_reader():
+                import time
+
+                received = 0
+                while received < 64 * 1024:
+                    time.sleep(0.002)
+                    try:
+                        received += len(right.recv(4096))
+                    except OSError:
+                        return
+
+            reader = threading.Thread(target=slow_reader, daemon=True)
+            reader.start()
+            for _ in range(64):
+                sender.send(frame)
+            assert sender.blocking.lifetime_episodes > 0
+            assert sender.blocking.lifetime_seconds > 0.0
+        finally:
+            left.close()
+            right.close()
+
+
+class TestSocketMiniRegion:
+    def test_blocking_concentrates_on_slow_worker(self):
+        with SocketMiniRegion([0.0002, 0.004]) as region:
+            region.send_weighted(300, [500, 500])
+            blocked = [c.lifetime_seconds for c in region.blocking_counters]
+        assert blocked[1] > blocked[0]
+
+    def test_even_capacity_small_blocking(self):
+        with SocketMiniRegion([0.0002, 0.0002]) as region:
+            region.send_weighted(200, [500, 500])
+            total = sum(c.lifetime_seconds for c in region.blocking_counters)
+        # Workers keep up with the sender; blocking should be minimal.
+        assert total < 1.0
+
+    def test_rejects_empty_worker_list(self):
+        with pytest.raises(ValueError):
+            SocketMiniRegion([])

@@ -1,0 +1,286 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These pin down the algebraic contracts the paper's model depends on:
+monotone regression really is monotone and mean-preserving, Fox's greedy
+really is optimal, smooth weighted round-robin really delivers its weights,
+the merger really restores sequence order, and the clustering distance
+really is a semi-metric.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancer import distribute_evenly, even_split
+from repro.core.clustering import agglomerative_cluster, function_distance
+from repro.core.monotone import is_non_decreasing, monotone_regression
+from repro.core.policies import WeightedPolicy
+from repro.core.rap import (
+    objective,
+    solve_minimax_binary_search,
+    solve_minimax_bruteforce,
+    solve_minimax_fox,
+)
+from repro.core.rate_function import BlockingRateFunction
+from repro.experiments.oracle import proportional_weights
+from repro.sim.engine import Simulator
+from repro.streams.merger import OrderedMerger
+from repro.streams.tuples import StreamTuple
+
+values_list = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+)
+
+
+class TestMonotoneRegression:
+    @given(values_list)
+    def test_output_is_non_decreasing(self, values):
+        assert is_non_decreasing(monotone_regression(values), tol=1e-9)
+
+    @given(values_list)
+    def test_mean_preserved(self, values):
+        fitted = monotone_regression(values)
+        assert math.isclose(
+            sum(values), sum(fitted), rel_tol=1e-9, abs_tol=1e-6
+        )
+
+    @given(values_list)
+    def test_idempotent(self, values):
+        fitted = monotone_regression(values)
+        assert monotone_regression(fitted) == fitted
+
+    @given(values_list)
+    def test_monotone_input_unchanged(self, values):
+        ordered = sorted(values)
+        assert monotone_regression(ordered) == ordered
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_weighted_mean_preserved(self, pairs):
+        values = [v for v, _ in pairs]
+        weights = [w for _, w in pairs]
+        fitted = monotone_regression(values, weights)
+        raw = sum(v * w for v, w in zip(values, weights))
+        fit = sum(v * w for v, w in zip(fitted, weights))
+        assert math.isclose(raw, fit, rel_tol=1e-9, abs_tol=1e-6)
+
+
+def _functions_from_slopes(slopes):
+    return [lambda w, s=s: s * w for s in slopes]
+
+
+class TestRapOptimality:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=3,
+        ),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_fox_matches_bruteforce(self, slopes, resolution):
+        functions = _functions_from_slopes(slopes)
+        fox = solve_minimax_fox(functions, resolution)
+        best = solve_minimax_bruteforce(functions, resolution)
+        assert sum(fox) == resolution
+        assert objective(functions, fox) <= objective(functions, best) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=6,
+        ),
+        st.integers(min_value=5, max_value=200),
+    )
+    def test_fox_and_binary_search_agree(self, slopes, resolution):
+        functions = _functions_from_slopes(slopes)
+        fox = solve_minimax_fox(functions, resolution)
+        binary = solve_minimax_binary_search(functions, resolution)
+        assert sum(binary) == resolution
+        assert math.isclose(
+            objective(functions, fox),
+            objective(functions, binary),
+            rel_tol=1e-9,
+            abs_tol=1e-12,
+        )
+
+
+class TestWeightedRoundRobinFairness:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=2, max_size=8)
+        .filter(lambda ws: sum(ws) > 0)
+    )
+    def test_exact_counts_over_one_cycle(self, weights):
+        policy = WeightedPolicy(weights)
+        total = sum(weights)
+        counts = [0] * len(weights)
+        for _ in range(total):
+            counts[policy.next_connection()] += 1
+        assert counts == list(weights)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=9), min_size=2, max_size=5),
+        st.integers(min_value=2, max_value=5),
+    )
+    def test_counts_over_k_cycles(self, weights, cycles):
+        policy = WeightedPolicy(weights)
+        total = sum(weights)
+        counts = [0] * len(weights)
+        for _ in range(total * cycles):
+            counts[policy.next_connection()] += 1
+        assert counts == [w * cycles for w in weights]
+
+
+class TestMergerOrdering:
+    @settings(max_examples=50, deadline=None)
+    @given(st.permutations(list(range(25))))
+    def test_any_arrival_order_is_restored(self, arrival_order):
+        emitted = []
+        merger = OrderedMerger(Simulator(), on_emit=lambda t: emitted.append(t.seq))
+        for seq in arrival_order:
+            merger.accept(0, StreamTuple(seq=seq, cost_multiplies=1.0))
+        assert emitted == sorted(arrival_order)
+        assert merger.pending_count == 0
+
+
+class TestAllocationHelpers:
+    @given(st.integers(min_value=1, max_value=2000), st.integers(min_value=1, max_value=64))
+    def test_even_split_sums_and_balance(self, resolution, n):
+        weights = even_split(resolution, n)
+        assert sum(weights) == resolution
+        assert max(weights) - min(weights) <= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(min_value=1, max_value=1000),
+    )
+    def test_proportional_weights_sum(self, capacities, resolution):
+        weights = proportional_weights(capacities, resolution)
+        assert sum(weights) == resolution
+        assert all(w >= 0 for w in weights)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_distribute_evenly_within_bounds(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=10))
+        minima = data.draw(
+            st.lists(st.integers(min_value=0, max_value=5), min_size=n, max_size=n)
+        )
+        extra = data.draw(
+            st.lists(st.integers(min_value=0, max_value=20), min_size=n, max_size=n)
+        )
+        maxima = [lo + e for lo, e in zip(minima, extra)]
+        total = data.draw(
+            st.integers(min_value=sum(minima), max_value=sum(maxima))
+        )
+        weights = distribute_evenly(total, minima, maxima)
+        assert sum(weights) == total
+        assert all(lo <= w <= hi for w, lo, hi in zip(weights, minima, maxima))
+
+
+class TestRateFunctionInvariants:
+    observations = st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=1000),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=30,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(observations)
+    def test_fitted_function_is_monotone(self, points):
+        fn = BlockingRateFunction()
+        for weight, rate in points:
+            fn.observe(weight, rate)
+        sampled = [fn.value(w) for w in range(0, 1001, 37)]
+        assert is_non_decreasing(sampled, tol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(observations, st.integers(min_value=0, max_value=1000))
+    def test_decay_never_increases_values(self, points, pivot):
+        fn = BlockingRateFunction()
+        for weight, rate in points:
+            fn.observe(weight, rate)
+        before = [fn.value(w) for w in range(0, 1001, 97)]
+        fn.decay_above(pivot, 0.1)
+        after = [fn.value(w) for w in range(0, 1001, 97)]
+        assert all(b <= a + 1e-9 for a, b in zip(before, after))
+
+    @settings(max_examples=40, deadline=None)
+    @given(observations)
+    def test_values_non_negative(self, points):
+        fn = BlockingRateFunction()
+        for weight, rate in points:
+            fn.observe(weight, rate)
+        assert all(fn.value(w) >= 0.0 for w in range(0, 1001, 53))
+
+
+class TestClusteringProperties:
+    fn_strategy = st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=1000),
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=8,
+    )
+
+    @staticmethod
+    def build(points):
+        fn = BlockingRateFunction()
+        for weight, rate in points:
+            fn.observe(weight, rate)
+        return fn
+
+    @settings(max_examples=40, deadline=None)
+    @given(fn_strategy, fn_strategy)
+    def test_distance_symmetric_and_non_negative(self, pa, pb):
+        a, b = self.build(pa), self.build(pb)
+        d_ab = function_distance(a, b)
+        d_ba = function_distance(b, a)
+        assert d_ab >= 0.0
+        assert math.isclose(d_ab, d_ba, rel_tol=1e-9, abs_tol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(fn_strategy)
+    def test_self_distance_zero(self, points):
+        fn = self.build(points)
+        assert function_distance(fn, fn) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.randoms(use_true_random=False),
+    )
+    def test_clustering_is_a_partition(self, n, threshold, rng):
+        matrix = [[0.0] * n for _ in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = rng.uniform(0.0, 5.0)
+                matrix[i][j] = d
+                matrix[j][i] = d
+        clusters = agglomerative_cluster(matrix, threshold)
+        members = sorted(m for c in clusters for m in c)
+        assert members == list(range(n))

@@ -1,0 +1,45 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_fifo(self):
+        queue = EventQueue()
+        fired = []
+        for tag in ("first", "second", "third"):
+            queue.push(1.0, lambda t=tag: fired.append(t))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["first", "second", "third"]
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None)
+        cancel = queue.push(0.5, lambda: None)
+        cancel.cancel()
+        assert queue.pop() is keep
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        early = queue.push(0.5, lambda: None)
+        queue.push(1.0, lambda: None)
+        early.cancel()
+        assert queue.peek_time() == 1.0
+
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None

@@ -1,0 +1,86 @@
+"""Unit tests for the fluid steady-state model."""
+
+import pytest
+
+from repro.sim.fluid import FluidRegion
+
+
+class TestThroughput:
+    def test_even_weights_equal_rates(self):
+        region = FluidRegion([100.0, 100.0], splitter_rate=1000.0)
+        assert region.throughput() == pytest.approx(200.0)
+
+    def test_bottleneck_gates_region(self):
+        # Worker 0 gets 50% but can only do 10/s -> region capped at 20/s.
+        region = FluidRegion([10.0, 1000.0], splitter_rate=1e6)
+        assert region.throughput() == pytest.approx(20.0)
+
+    def test_splitter_can_gate(self):
+        region = FluidRegion([1000.0, 1000.0], splitter_rate=50.0)
+        assert region.throughput() == pytest.approx(50.0)
+
+    def test_zero_weight_connection_ignored(self):
+        region = FluidRegion([1.0, 100.0], splitter_rate=1e6)
+        region.set_weights([0, 1000])
+        assert region.throughput() == pytest.approx(100.0)
+
+    def test_weights_must_sum_to_resolution(self):
+        region = FluidRegion([1.0, 1.0])
+        with pytest.raises(ValueError):
+            region.set_weights([500, 400])
+
+
+class TestDrafting:
+    def test_all_blocking_lands_on_bottleneck(self):
+        region = FluidRegion([10.0, 1000.0], splitter_rate=100.0)
+        region.advance(10.0)
+        counters = region.blocking_counters
+        assert counters[0].cumulative_seconds > 0
+        assert counters[1].cumulative_seconds == 0
+
+    def test_blocked_fraction_matches_throughput_deficit(self):
+        region = FluidRegion([10.0, 1000.0], splitter_rate=100.0)
+        region.advance(10.0)
+        # throughput = 20/s, splitter 100/s -> blocked 80% of 10 s.
+        assert region.blocking_counters[0].cumulative_seconds == pytest.approx(8.0)
+
+    def test_no_blocking_when_splitter_gates(self):
+        region = FluidRegion([1000.0, 1000.0], splitter_rate=10.0)
+        region.advance(5.0)
+        assert all(c.cumulative_seconds == 0 for c in region.blocking_counters)
+
+    def test_leader_is_sticky_under_ties(self):
+        # Equal capacity, equal weights: the first elected leader keeps
+        # absorbing blocking (the paper's draft-leader persistence).
+        region = FluidRegion([10.0, 10.0], splitter_rate=100.0)
+        for _ in range(10):
+            region.advance(1.0)
+        blocked = [c.cumulative_seconds for c in region.blocking_counters]
+        assert blocked[0] > 0
+        assert blocked[1] == 0
+
+    def test_leader_changes_when_load_shifts(self):
+        region = FluidRegion([10.0, 10.0], splitter_rate=100.0)
+        region.advance(1.0)
+        assert region.bottleneck() == 0
+        region.set_weights([100, 900])
+        region.advance(1.0)
+        assert region.bottleneck() == 1
+        assert region.blocking_counters[1].cumulative_seconds > 0
+
+
+class TestDynamics:
+    def test_tuples_emitted_accumulate(self):
+        region = FluidRegion([10.0, 10.0], splitter_rate=1000.0)
+        region.advance(2.0)
+        assert region.tuples_emitted == pytest.approx(40.0)
+
+    def test_service_rate_change_takes_effect(self):
+        region = FluidRegion([10.0, 10.0], splitter_rate=1000.0)
+        region.set_service_rate(0, 1.0)
+        assert region.throughput() == pytest.approx(2.0)
+
+    def test_advance_requires_positive_dt(self):
+        region = FluidRegion([1.0])
+        with pytest.raises(ValueError):
+            region.advance(0.0)

@@ -1,0 +1,183 @@
+"""Integration tests for the compiled application runtime."""
+
+import pytest
+
+from repro.core.balancer import BalancerConfig
+from repro.sim.engine import Simulator
+from repro.streams.application import Application
+from repro.streams.graph import StreamGraph
+from repro.streams.hosts import Host
+from repro.streams.operators import (
+    Filter,
+    Functor,
+    PassThrough,
+    SinkOp,
+    SourceOp,
+)
+
+
+def big_host():
+    return Host("big", cores=32, thread_speed=2e5)
+
+
+def build_app(graph, **kwargs):
+    sim = Simulator()
+    return Application(sim, graph, default_host=big_host(), **kwargs)
+
+
+def pipeline_graph(total=500, seen=None):
+    g = StreamGraph()
+    src = g.add(SourceOp("src", 100.0, tuple_cost=100.0, total=total,
+                         make_payload=lambda s: s))
+    double = g.add(Functor("double", 100.0, lambda p: p * 2))
+    sink = g.add(SinkOp("sink", on_tuple=(seen.append if seen is not None else None)))
+    g.chain(src, double, sink)
+    return g
+
+
+class TestPipeline:
+    def test_all_tuples_flow_through(self):
+        seen = []
+        app = build_app(pipeline_graph(total=500, seen=seen))
+        app.start()
+        app.run_until(60.0)
+        assert len(seen) == 500
+        assert [t.seq for t in seen] == list(range(500))
+
+    def test_functor_transforms(self):
+        seen = []
+        app = build_app(pipeline_graph(total=10, seen=seen))
+        app.start()
+        app.run_until(10.0)
+        assert [t.payload for t in seen] == [2 * s for s in range(10)]
+
+    def test_backpressure_gates_source(self):
+        # A slow downstream operator limits how fast the source can
+        # produce, via bounded buffers only.
+        g = StreamGraph()
+        src = g.add(SourceOp("src", 100.0, tuple_cost=100.0))
+        slow = g.add(PassThrough("slow", 20_000.0))  # 10 tuples/s
+        sink = g.add(SinkOp("sink"))
+        g.chain(src, slow, sink)
+        app = build_app(g)
+        app.start()
+        app.run_until(50.0)
+        produced = app.operator_pe("src").source.produced
+        # Source could do 2000/s; backpressure holds it near 10/s plus
+        # the buffers' worth of slack.
+        assert produced < 10 * 50 + 70
+
+
+class TestTaskParallelism:
+    def test_fanout_duplicates_tuples(self):
+        g = StreamGraph()
+        src = g.add(SourceOp("src", 100.0, tuple_cost=100.0, total=100))
+        left = g.add(PassThrough("left", 100.0))
+        right = g.add(PassThrough("right", 100.0))
+        sink_l = g.add(SinkOp("sink_l"))
+        sink_r = g.add(SinkOp("sink_r"))
+        g.connect(src, left)
+        g.connect(src, right)
+        g.connect(left, sink_l)
+        g.connect(right, sink_r)
+        app = build_app(g)
+        app.start()
+        app.run_until(30.0)
+        assert app.operator_pe("sink_l").sink.consumed == 100
+        assert app.operator_pe("sink_r").sink.consumed == 100
+
+
+class TestFiltering:
+    def test_filter_drops(self):
+        g = StreamGraph()
+        src = g.add(SourceOp("src", 100.0, tuple_cost=100.0, total=100,
+                             make_payload=lambda s: s))
+        flt = g.add(Filter("flt", 100.0, lambda p: p % 2 == 0))
+        sink = g.add(SinkOp("sink"))
+        g.chain(src, flt, sink)
+        app = build_app(g)
+        app.start()
+        app.run_until(30.0)
+        assert app.operator_pe("sink").sink.consumed == 50
+        assert app.operator_pe("flt").dropped == 50
+
+
+class TestParallelRegion:
+    def region_graph(self, total=2_000, ordered=True, seen=None):
+        g = StreamGraph()
+        src = g.add(SourceOp("src", 100.0, tuple_cost=100.0, total=total,
+                             make_payload=lambda s: s))
+        work = g.add(PassThrough("work", 2_000.0))
+        sink = g.add(SinkOp("sink", on_tuple=(seen.append if seen is not None else None)))
+        g.chain(src, work, sink)
+        g.parallelize(work, 4, ordered=ordered)
+        return g
+
+    def test_region_expands_and_processes_everything(self):
+        seen = []
+        app = build_app(self.region_graph(seen=seen))
+        app.start()
+        app.run_until(120.0)
+        assert len(seen) == 2_000
+        handle = app.regions["work"]
+        assert len(handle.replicas) == 4
+        assert sum(r.processed for r in handle.replicas) == 2_000
+        # Round-robin spreads the work evenly.
+        assert max(r.processed for r in handle.replicas) <= 501
+
+    def test_ordered_region_preserves_sequence(self):
+        seen = []
+        app = build_app(self.region_graph(seen=seen))
+        app.start()
+        app.run_until(120.0)
+        assert [t.seq for t in seen] == list(range(2_000))
+
+    def test_unordered_region_can_reorder(self):
+        seen = []
+        g = self.region_graph(ordered=False, seen=seen)
+        app = build_app(g)
+        app.operator_pe("work[0]").set_load_multiplier(10.0)
+        app.start()
+        app.run_until(240.0)
+        assert sorted(t.seq for t in seen) == list(range(2_000))
+        assert [t.seq for t in seen] != list(range(2_000))
+
+    def test_load_balancing_starves_loaded_replica(self):
+        app = build_app(self.region_graph(total=None))
+        balancer = app.enable_load_balancing(
+            "work", BalancerConfig(), interval=1.0
+        )
+        app.operator_pe("work[2]").set_load_multiplier(100.0)
+        app.start()
+        app.run_until(120.0)
+        weights = balancer.weights
+        assert weights[2] < 100, weights
+        assert sum(weights) == 1000
+
+    def test_region_blocking_counters_exposed(self):
+        app = build_app(self.region_graph())
+        handle = app.regions["work"]
+        assert len(handle.blocking_counters) == 4
+
+    def test_set_weights_requires_weighted_policy(self):
+        app = build_app(self.region_graph())
+        with pytest.raises(RuntimeError):
+            app.regions["work"].set_weights([250, 250, 250, 250])
+
+
+class TestLookup:
+    def test_operator_pe_by_name(self):
+        app = build_app(pipeline_graph())
+        assert app.operator_pe("double").name == "double"
+        with pytest.raises(KeyError):
+            app.operator_pe("nope")
+
+    def test_replica_lookup(self):
+        g = StreamGraph()
+        src = g.add(SourceOp("src", 1.0, tuple_cost=1.0, total=1))
+        work = g.add(PassThrough("work", 1.0))
+        sink = g.add(SinkOp("sink"))
+        g.chain(src, work, sink)
+        g.parallelize(work, 2)
+        app = build_app(g)
+        assert app.operator_pe("work[1]").name == "work[1]"

@@ -1,0 +1,81 @@
+"""Tests for the bursty source and the balancer's behaviour under bursts."""
+
+from repro.core.balancer import BalancerConfig
+from repro.sim.engine import Simulator
+from repro.streams.application import Application
+from repro.streams.graph import StreamGraph
+from repro.streams.hosts import Host
+from repro.streams.operators import BurstySourceOp, PassThrough, SinkOp
+
+
+class TestBurstySourceOp:
+    def test_phase_membership(self):
+        src = BurstySourceOp(
+            "s", 100.0, tuple_cost=1.0, burst_length=3, lull_length=2
+        )
+        phases = [src.in_burst(seq) for seq in range(10)]
+        assert phases == [True, True, True, False, False] * 2
+
+    def test_production_cost_alternates(self):
+        src = BurstySourceOp(
+            "s", 100.0, tuple_cost=1.0, burst_length=1, lull_length=1,
+            lull_factor=10.0,
+        )
+        assert src.production_cost(0) == 100.0
+        assert src.production_cost(1) == 1000.0
+
+    def test_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BurstySourceOp(
+                "s", 1.0, tuple_cost=1.0, burst_length=0, lull_length=1
+            )
+
+
+class TestBurstyApplication:
+    def build(self, *, balanced):
+        g = StreamGraph()
+        src = g.add(BurstySourceOp(
+            "src", 100.0, tuple_cost=100.0,
+            burst_length=200, lull_length=100, lull_factor=40.0,
+        ))
+        work = g.add(PassThrough("work", 1_200.0))
+        sink = g.add(SinkOp("sink"))
+        g.chain(src, work, sink)
+        g.parallelize(work, 3)
+        sim = Simulator()
+        app = Application(
+            sim, g, default_host=Host("big", cores=16, thread_speed=2e5)
+        )
+        balancer = None
+        if balanced:
+            balancer = app.enable_load_balancing("work", BalancerConfig())
+        return app, balancer
+
+    def test_bursty_stream_flows(self):
+        app, _ = self.build(balanced=False)
+        app.start()
+        app.run_until(120.0)
+        assert app.operator_pe("sink").sink.consumed > 1_000
+
+    def test_balancer_survives_bursts(self):
+        # Bursty arrivals must not destabilize the controller: weights
+        # stay valid and the sink keeps pace with the unbalanced run.
+        app, balancer = self.build(balanced=True)
+        one_loaded = app.operator_pe("work[1]")
+        one_loaded.set_load_multiplier(20.0)
+        app.start()
+        app.run_until(180.0)
+        weights = balancer.weights
+        assert sum(weights) == 1000
+        assert weights[1] < 250, weights
+
+        baseline, _ = self.build(balanced=False)
+        baseline.operator_pe("work[1]").set_load_multiplier(20.0)
+        baseline.start()
+        baseline.run_until(180.0)
+        assert (
+            app.operator_pe("sink").sink.consumed
+            > baseline.operator_pe("sink").sink.consumed
+        )

@@ -1,0 +1,75 @@
+"""Emergent-phenomena tests: drafting (Section 4.2).
+
+Drafting is not coded anywhere — it must *emerge* from the single-threaded
+splitter and bounded buffers. These tests run the dataplane with no
+controller and assert the phenomenon the paper describes: during a
+measurement period, essentially all observed blocking lands on a single
+connection (the draft leader), even when every connection has the same
+capacity.
+"""
+
+from repro.core.policies import RoundRobinPolicy, WeightedPolicy
+from repro.sim.engine import Simulator
+from repro.streams.hosts import Host, Placement
+from repro.streams.region import ParallelRegion, RegionParams
+from repro.streams.sources import InfiniteSource, constant_cost
+
+
+def run_region(policy, n, *, seconds=50.0, thread_speed=1000.0, cost=100.0,
+               send_overhead=0.01):
+    sim = Simulator()
+    host = Host("h", cores=max(8, n), thread_speed=thread_speed)
+    region = ParallelRegion(
+        sim,
+        InfiniteSource(constant_cost(cost)),
+        policy,
+        Placement.single_host(n, host),
+        params=RegionParams(send_overhead=send_overhead),
+    )
+    region.start()
+    sim.run_until(seconds)
+    return region
+
+
+class TestDrafting:
+    def test_one_leader_absorbs_blocking_at_equal_capacity(self):
+        # 3 equal workers at 10 tuples/s each; splitter at 100/s. The
+        # region saturates, and the blocking concentrates on one conn.
+        region = run_region(RoundRobinPolicy(3), 3)
+        blocked = [c.lifetime_seconds for c in region.blocking_counters]
+        total = sum(blocked)
+        assert total > 0
+        assert max(blocked) / total > 0.9, f"no draft leader: {blocked}"
+
+    def test_blocking_rare_in_episode_count(self):
+        # Section 4.4: "blocking is a rare event" — episodes are few
+        # relative to tuples sent, even under heavy imbalance.
+        region = run_region(RoundRobinPolicy(2), 2)
+        episodes = sum(c.lifetime_episodes for c in region.blocking_counters)
+        sent = region.splitter.tuples_sent
+        assert sent > 0
+        assert episodes <= sent
+
+    def test_draft_leader_follows_the_most_loaded_connection(self):
+        # With a skewed split the most-loaded connection is the leader.
+        region = run_region(WeightedPolicy([800, 200]), 2)
+        blocked = [c.lifetime_seconds for c in region.blocking_counters]
+        assert blocked[0] > blocked[1]
+
+    def test_no_blocking_when_splitter_is_the_bottleneck(self):
+        # Splitter slower than aggregate capacity: buffers never fill.
+        region = run_region(
+            RoundRobinPolicy(2), 2, send_overhead=1.0, thread_speed=10_000.0
+        )
+        assert all(c.lifetime_seconds == 0 for c in region.blocking_counters)
+
+
+class TestBlockingRateMonotonicity:
+    def test_blocking_rate_monotone_in_allocation_weight(self):
+        # The Figure 5 result: connection 1's blocking rate decreases as
+        # its share drops from 80% toward 50%.
+        rates = []
+        for split in ((800, 200), (700, 300), (600, 400), (500, 500)):
+            region = run_region(WeightedPolicy(list(split)), 2, seconds=100.0)
+            rates.append(region.blocking_counters[0].lifetime_seconds / 100.0)
+        assert rates == sorted(rates, reverse=True), rates

@@ -1,0 +1,88 @@
+"""Unit tests for logical operators."""
+
+import pytest
+
+from repro.streams.operators import (
+    Filter,
+    Functor,
+    PassThrough,
+    SinkOp,
+    SourceOp,
+)
+from repro.streams.tuples import StreamTuple
+
+
+def tup(seq=0, payload=None):
+    return StreamTuple(seq=seq, cost_multiplies=10.0, payload=payload)
+
+
+class TestPassThrough:
+    def test_forwards_unchanged(self):
+        op = PassThrough("p", 100.0)
+        t = tup(payload={"x": 1})
+        assert op.apply(t) is t
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            PassThrough("", 1.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            PassThrough("p", -1.0)
+
+
+class TestFunctor:
+    def test_transforms_payload(self):
+        op = Functor("f", 10.0, lambda p: p * 2)
+        result = op.apply(tup(seq=5, payload=21))
+        assert result.payload == 42
+        assert result.seq == 5
+
+    def test_preserves_cost(self):
+        op = Functor("f", 10.0, lambda p: p)
+        assert op.apply(tup()).cost_multiplies == 10.0
+
+
+class TestFilter:
+    def test_passes_matching(self):
+        op = Filter("f", 1.0, lambda p: p > 0)
+        assert op.apply(tup(payload=1)) is not None
+
+    def test_drops_non_matching(self):
+        op = Filter("f", 1.0, lambda p: p > 0)
+        assert op.apply(tup(payload=-1)) is None
+
+
+class TestSourceOp:
+    def test_produces_sequential_tuples(self):
+        src = SourceOp("s", 10.0, tuple_cost=100.0, total=3)
+        seqs = []
+        while (t := src.next_tuple()) is not None:
+            seqs.append(t.seq)
+        assert seqs == [0, 1, 2]
+        assert src.produced == 3
+
+    def test_payload_factory(self):
+        src = SourceOp(
+            "s", 10.0, tuple_cost=100.0, total=2, make_payload=lambda s: s * 10
+        )
+        assert src.next_tuple().payload == 0
+        assert src.next_tuple().payload == 10
+
+    def test_unbounded(self):
+        src = SourceOp("s", 10.0, tuple_cost=100.0)
+        for _ in range(50):
+            assert src.next_tuple() is not None
+
+    def test_apply_is_an_error(self):
+        with pytest.raises(RuntimeError):
+            SourceOp("s", 1.0, tuple_cost=1.0).apply(tup())
+
+
+class TestSinkOp:
+    def test_counts_and_calls_out(self):
+        seen = []
+        sink = SinkOp("k", on_tuple=seen.append)
+        assert sink.apply(tup(seq=7)) is None
+        assert sink.consumed == 1
+        assert seen[0].seq == 7

@@ -1,0 +1,63 @@
+"""Unit tests for tuples and tuple sources."""
+
+import pytest
+
+from repro.streams.sources import FiniteSource, InfiniteSource, constant_cost
+from repro.streams.tuples import StreamTuple
+
+
+class TestStreamTuple:
+    def test_fields(self):
+        tup = StreamTuple(seq=3, cost_multiplies=1000.0, payload={"k": 1})
+        assert tup.seq == 3
+        assert tup.cost_multiplies == 1000.0
+        assert tup.payload == {"k": 1}
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError):
+            StreamTuple(seq=-1, cost_multiplies=1.0)
+
+    def test_non_positive_cost_rejected(self):
+        with pytest.raises(ValueError):
+            StreamTuple(seq=0, cost_multiplies=0.0)
+
+
+class TestConstantCost:
+    def test_same_cost_for_every_seq(self):
+        cost = constant_cost(1000.0)
+        assert cost(0) == cost(123456) == 1000.0
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            constant_cost(0.0)
+
+
+class TestFiniteSource:
+    def test_produces_exactly_total(self):
+        source = FiniteSource(3, constant_cost(1.0))
+        tuples = []
+        while (tup := source.next_tuple()) is not None:
+            tuples.append(tup)
+        assert [t.seq for t in tuples] == [0, 1, 2]
+        assert source.exhausted()
+        assert source.produced == 3
+
+    def test_exhausted_source_keeps_returning_none(self):
+        source = FiniteSource(1, constant_cost(1.0))
+        source.next_tuple()
+        assert source.next_tuple() is None
+        assert source.next_tuple() is None
+
+    def test_total_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FiniteSource(0, constant_cost(1.0))
+
+
+class TestInfiniteSource:
+    def test_never_exhausts(self):
+        source = InfiniteSource(constant_cost(1.0))
+        for expected_seq in range(100):
+            tup = source.next_tuple()
+            assert tup is not None
+            assert tup.seq == expected_seq
+        assert not source.exhausted()

@@ -1,0 +1,84 @@
+"""Unit tests for exponential smoothing and interval-rate estimation."""
+
+import pytest
+
+from repro.util.ewma import Ewma, IntervalRate
+
+
+class TestEwma:
+    def test_starts_empty(self):
+        assert Ewma().value is None
+
+    def test_first_observation_is_taken_verbatim(self):
+        ewma = Ewma(alpha=0.5)
+        assert ewma.observe(10.0) == 10.0
+
+    def test_smooths_toward_new_values(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.observe(0.0)
+        assert ewma.observe(10.0) == 5.0
+        assert ewma.observe(10.0) == 7.5
+
+    def test_alpha_one_tracks_latest(self):
+        ewma = Ewma(alpha=1.0)
+        ewma.observe(3.0)
+        assert ewma.observe(42.0) == 42.0
+
+    def test_reset_forgets(self):
+        ewma = Ewma()
+        ewma.observe(5.0)
+        ewma.reset()
+        assert ewma.value is None
+        assert ewma.observe(1.0) == 1.0
+
+    def test_rejects_zero_alpha(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+
+    def test_rejects_out_of_range_alpha(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+
+class TestIntervalRate:
+    def test_first_sample_yields_no_rate(self):
+        rate = IntervalRate()
+        assert rate.sample(1.0, 5.0) is None
+        assert rate.rate is None
+
+    def test_rate_is_delta_over_elapsed(self):
+        rate = IntervalRate(alpha=1.0)
+        rate.sample(0.0, 0.0)
+        assert rate.sample(2.0, 1.0) == pytest.approx(0.5)
+
+    def test_counter_reset_measured_from_zero(self):
+        # Figure 2: the transport layer periodically resets the counter;
+        # a sample smaller than its predecessor means the counter
+        # restarted from zero during the interval.
+        rate = IntervalRate(alpha=1.0)
+        rate.sample(0.0, 100.0)
+        assert rate.sample(1.0, 0.3) == pytest.approx(0.3)
+
+    def test_smoothing_applies_across_intervals(self):
+        rate = IntervalRate(alpha=0.5)
+        rate.sample(0.0, 0.0)
+        rate.sample(1.0, 1.0)  # raw 1.0 -> smoothed 1.0
+        assert rate.sample(2.0, 1.0) == pytest.approx(0.5)  # raw 0.0
+
+    def test_time_must_advance(self):
+        rate = IntervalRate()
+        rate.sample(1.0, 0.0)
+        with pytest.raises(ValueError):
+            rate.sample(1.0, 0.5)
+
+    def test_negative_counter_rejected(self):
+        rate = IntervalRate()
+        with pytest.raises(ValueError):
+            rate.sample(0.0, -1.0)
+
+    def test_reset_requires_repriming(self):
+        rate = IntervalRate()
+        rate.sample(0.0, 0.0)
+        rate.sample(1.0, 1.0)
+        rate.reset()
+        assert rate.sample(2.0, 5.0) is None

@@ -1,0 +1,85 @@
+"""Unit tests for the append-only time series."""
+
+import pytest
+
+from repro.util.timeseries import TimeSeries
+
+
+def make_series(points):
+    series = TimeSeries("test")
+    for t, v in points:
+        series.record(t, v)
+    return series
+
+
+class TestRecording:
+    def test_empty_series_is_falsy(self):
+        assert not TimeSeries()
+        assert len(TimeSeries()) == 0
+
+    def test_records_in_order(self):
+        series = make_series([(0.0, 1.0), (1.0, 2.0)])
+        assert list(series) == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_equal_times_allowed(self):
+        series = make_series([(1.0, 1.0), (1.0, 2.0)])
+        assert len(series) == 2
+
+    def test_time_cannot_go_backwards(self):
+        series = make_series([(1.0, 1.0)])
+        with pytest.raises(ValueError):
+            series.record(0.5, 2.0)
+
+    def test_last(self):
+        series = make_series([(0.0, 1.0), (3.0, 7.0)])
+        assert series.last() == (3.0, 7.0)
+
+    def test_last_of_empty_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries().last()
+
+
+class TestLookup:
+    def test_value_at_is_step_function(self):
+        series = make_series([(0.0, 1.0), (10.0, 2.0)])
+        assert series.value_at(5.0) == 1.0
+        assert series.value_at(10.0) == 2.0
+        assert series.value_at(100.0) == 2.0
+
+    def test_value_before_first_point_raises(self):
+        series = make_series([(5.0, 1.0)])
+        with pytest.raises(ValueError):
+            series.value_at(4.9)
+
+    def test_window_bounds_inclusive(self):
+        series = make_series([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)])
+        window = series.window(1.0, 2.0)
+        assert list(window) == [(1.0, 2.0), (2.0, 3.0)]
+
+    def test_window_preserves_name(self):
+        series = make_series([(0.0, 1.0)])
+        assert series.window(0.0, 1.0).name == "test"
+
+
+class TestStatistics:
+    def test_mean(self):
+        series = make_series([(0.0, 1.0), (1.0, 3.0)])
+        assert series.mean() == 2.0
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().mean()
+
+    def test_final_mean_uses_trailing_window(self):
+        # 11 points over [0, 10]; trailing 10% covers t in [9, 10].
+        series = make_series([(float(t), float(t)) for t in range(11)])
+        assert series.final_mean(0.1) == pytest.approx(9.5)
+
+    def test_final_mean_full_fraction_is_mean(self):
+        series = make_series([(0.0, 2.0), (1.0, 4.0)])
+        assert series.final_mean(1.0) == series.mean()
+
+    def test_final_mean_fraction_validated(self):
+        series = make_series([(0.0, 2.0)])
+        with pytest.raises(ValueError):
+            series.final_mean(0.0)

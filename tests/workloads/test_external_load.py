@@ -1,0 +1,90 @@
+"""Unit tests for external-load schedules."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.workloads.external_load import CountLoadEvent, LoadEvent, LoadSchedule
+
+
+class _FakeWorker:
+    def __init__(self):
+        self.multiplier = 1.0
+
+    def set_load_multiplier(self, multiplier):
+        self.multiplier = multiplier
+
+
+class TestConstruction:
+    def test_none(self):
+        schedule = LoadSchedule.none()
+        assert schedule.initial_multipliers(3) == [1.0, 1.0, 1.0]
+        assert schedule.change_times() == []
+
+    def test_static_load(self):
+        schedule = LoadSchedule.static_load([0, 2], 10.0)
+        assert schedule.initial_multipliers(3) == [10.0, 1.0, 10.0]
+
+    def test_removed_at(self):
+        schedule = LoadSchedule.removed_at([1], 100.0, 50.0)
+        assert schedule.initial_multipliers(2) == [1.0, 100.0]
+        assert schedule.change_times() == [50.0]
+
+    def test_half_loaded(self):
+        schedule = LoadSchedule.half_loaded(4, 10.0)
+        assert schedule.initial_multipliers(4) == [10.0, 10.0, 1.0, 1.0]
+
+    def test_half_loaded_until_emitted(self):
+        schedule = LoadSchedule.half_loaded_until_emitted(4, 10.0, 500)
+        assert schedule.initial_multipliers(4) == [10.0, 10.0, 1.0, 1.0]
+        assert [e.emitted for e in schedule.count_events] == [500, 500]
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            LoadEvent(time=-1.0, worker=0, multiplier=1.0)
+        with pytest.raises(ValueError):
+            LoadEvent(time=0.0, worker=-1, multiplier=1.0)
+        with pytest.raises(ValueError):
+            CountLoadEvent(emitted=0, worker=0, multiplier=1.0)
+
+    def test_out_of_range_worker_detected(self):
+        schedule = LoadSchedule.static_load([5], 10.0)
+        with pytest.raises(ValueError):
+            schedule.initial_multipliers(3)
+
+
+class TestMultiplierAt:
+    def test_before_and_after_change(self):
+        schedule = LoadSchedule.removed_at([0], 100.0, 50.0)
+        assert schedule.multiplier_at(0, 49.9) == 100.0
+        assert schedule.multiplier_at(0, 50.0) == 1.0
+        assert schedule.multiplier_at(1, 100.0) == 1.0
+
+    def test_latest_event_wins(self):
+        schedule = LoadSchedule(
+            initial={0: 2.0},
+            events=[
+                LoadEvent(10.0, 0, 5.0),
+                LoadEvent(20.0, 0, 7.0),
+            ],
+        )
+        assert schedule.multiplier_at(0, 15.0) == 5.0
+        assert schedule.multiplier_at(0, 25.0) == 7.0
+
+
+class TestArming:
+    def test_timed_events_fire_on_simulator(self):
+        sim = Simulator()
+        workers = [_FakeWorker(), _FakeWorker()]
+        schedule = LoadSchedule(events=[LoadEvent(5.0, 1, 100.0)])
+        schedule.arm(sim, workers)
+        sim.run_until(4.9)
+        assert workers[1].multiplier == 1.0
+        sim.run_until(5.1)
+        assert workers[1].multiplier == 100.0
+        assert workers[0].multiplier == 1.0
+
+    def test_arm_checks_worker_range(self):
+        sim = Simulator()
+        schedule = LoadSchedule.removed_at([3], 10.0, 1.0)
+        with pytest.raises(ValueError):
+            schedule.arm(sim, [_FakeWorker()])
