@@ -1,0 +1,222 @@
+"""Hot-path micro-benchmarks and the recorded speedup report.
+
+Four micro-benches cover the layers the hot-path overhaul touched, plus
+one end-to-end timing of the Figure 9 static sweep:
+
+* **event chains** — self-rescheduling callback chains through the
+  engine's ``schedule_after`` fast path (list-cell events, free-list
+  recycling);
+* **call_every** — the reusable repeating timer (one heap cell re-armed
+  per tick instead of a fresh closure + handle);
+* **rate-function rounds** — one control round of model maintenance
+  (observe + decay + full fitted table), the cached-table path;
+* **Fox solves** — the minimax weight solver walking cached tables
+  instead of calling a bisect interpolation per marginal step;
+* **fig09 sweep** — the Figure 9 static grid (2-16 PEs x 4 policies),
+  serially and through the process-pool executor.
+
+``SEED_BASELINE`` pins the same measurements taken on the pre-overhaul
+seed commit on the reference machine (single core). Running this bench
+writes ``BENCH_core.json`` at the repo root with the fresh numbers and
+the speedups against that baseline. Regenerate standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_core_hotpath.py
+
+The methodology (chain counts, LCG-seeded rate points, solver rounds)
+is byte-for-byte the one used to capture the baseline — the ratios are
+meaningful, the absolute numbers are machine-dependent.
+"""
+
+import json
+import pathlib
+import time
+
+from conftest import run_once
+
+from repro.core.rap import solve_minimax_fox
+from repro.core.rate_function import BlockingRateFunction
+from repro.experiments.figures import fig09_config
+from repro.experiments.sweep import run_sweep
+from repro.sim.engine import Simulator
+
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_core.json"
+
+#: Pre-overhaul numbers, measured with this file's exact methodology on
+#: the seed commit (reference machine: 1 core). Ratios against these are
+#: the overhaul's speedups; re-capture on your machine for absolutes.
+SEED_BASELINE = {
+    "events_per_sec": 475_468.6,
+    "call_every_ticks_per_sec": 833_692.1,
+    "rate_fn_rounds_per_sec": 2_102.6,
+    "fox_solves_per_sec": 1_086.7,
+    "fig09_static_sweep_seconds": 12.66,
+}
+
+PE_COUNTS = (2, 4, 8, 16)
+POLICIES = ("oracle", "lb-static", "lb-adaptive", "rr")
+
+
+# --------------------------------------------------------------- measurement
+
+
+def measure_event_chains(n_chains: int = 8, events: int = 400_000) -> float:
+    """Fired events/sec through interleaved self-rescheduling chains."""
+    sim = Simulator()
+    count = [0]
+
+    def make(i):
+        def cb():
+            count[0] += 1
+            if count[0] < events:
+                sim.call_after(0.001 + (i % 7) * 1e-4, cb)
+
+        return cb
+
+    for i in range(n_chains):
+        sim.call_after(0.001 * (i + 1), make(i))
+    t0 = time.perf_counter()
+    sim.run_until(1e9)
+    return sim.events_processed / (time.perf_counter() - t0)
+
+
+def measure_call_every(ticks: int = 200_000) -> float:
+    """Repeating-timer ticks/sec (one re-armed heap cell per tick)."""
+    sim = Simulator()
+    n = [0]
+
+    def cb():
+        n[0] += 1
+
+    sim.call_every(0.01, cb)
+    t0 = time.perf_counter()
+    sim.run_until(0.01 * ticks)
+    return n[0] / (time.perf_counter() - t0)
+
+
+def _populated(points: int, seed: int) -> BlockingRateFunction:
+    fn = BlockingRateFunction()
+    state = seed
+    for _ in range(points):
+        state = (state * 1103515245 + 12345) % (2**31)
+        fn.observe(1 + state % 1000, (state >> 8 & 0xFF) / 255.0)
+    return fn
+
+
+def measure_rate_function_rounds(rounds: int = 200) -> float:
+    """Control rounds/sec: observe + decay + full fitted table."""
+    fn = _populated(40, 7)
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        fn.observe(333, 0.4)
+        fn.decay_above(333, 0.1)
+        fn.values()
+    return rounds / (time.perf_counter() - t0)
+
+
+def measure_fox_solves(rounds: int = 50, n: int = 16) -> float:
+    """Fox solves/sec over cached tables (the balancer's actual path).
+
+    The baseline number was necessarily measured through per-weight
+    ``value()`` calls — the only evaluation path the seed had.
+    """
+    fns = [_populated(30, j * 977 + 13) for j in range(n)]
+    evaluators = [fn.table() for fn in fns]
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        solve_minimax_fox(evaluators, 1000)
+    return rounds / (time.perf_counter() - t0)
+
+
+def measure_fig09_sweep(jobs: int | None) -> float:
+    """Wall seconds for the Figure 9 static grid."""
+    t0 = time.perf_counter()
+    run_sweep(
+        lambda n: fig09_config(n, dynamic=False),
+        PE_COUNTS,
+        POLICIES,
+        jobs=jobs,
+    )
+    return time.perf_counter() - t0
+
+
+def collect_report() -> dict:
+    """Run every measurement and assemble the BENCH_core.json payload."""
+    measured = {
+        "events_per_sec": measure_event_chains(),
+        "call_every_ticks_per_sec": measure_call_every(),
+        "rate_fn_rounds_per_sec": measure_rate_function_rounds(),
+        "fox_solves_per_sec": measure_fox_solves(),
+        "fig09_static_sweep_seconds": measure_fig09_sweep(jobs=1),
+        "fig09_static_sweep_seconds_pool": measure_fig09_sweep(jobs=None),
+    }
+    speedups = {
+        key: measured[key] / SEED_BASELINE[key]
+        for key in (
+            "events_per_sec",
+            "call_every_ticks_per_sec",
+            "rate_fn_rounds_per_sec",
+            "fox_solves_per_sec",
+        )
+    }
+    speedups["fig09_static_sweep"] = (
+        SEED_BASELINE["fig09_static_sweep_seconds"]
+        / measured["fig09_static_sweep_seconds"]
+    )
+    speedups["fig09_static_sweep_pool"] = (
+        SEED_BASELINE["fig09_static_sweep_seconds"]
+        / measured["fig09_static_sweep_seconds_pool"]
+    )
+    return {
+        "seed_baseline": SEED_BASELINE,
+        "measured": measured,
+        "speedup": speedups,
+    }
+
+
+# -------------------------------------------------------------------- benches
+
+
+def bench_core_hotpath(benchmark, report):
+    """Measure every hot path, record BENCH_core.json, assert the floors."""
+    payload = run_once(benchmark, collect_report)
+    BENCH_JSON.write_text(json.dumps(payload, indent=1) + "\n")
+
+    lines = [f"{'metric':34} {'seed':>12} {'now':>12} {'speedup':>8}"]
+    measured = payload["measured"]
+    for key, speedup_key in (
+        ("events_per_sec", "events_per_sec"),
+        ("call_every_ticks_per_sec", "call_every_ticks_per_sec"),
+        ("rate_fn_rounds_per_sec", "rate_fn_rounds_per_sec"),
+        ("fox_solves_per_sec", "fox_solves_per_sec"),
+        ("fig09_static_sweep_seconds", "fig09_static_sweep"),
+        ("fig09_static_sweep_seconds_pool", "fig09_static_sweep_pool"),
+    ):
+        seed = SEED_BASELINE.get(key, SEED_BASELINE["fig09_static_sweep_seconds"])
+        lines.append(
+            f"{key:34} {seed:12.1f} {measured[key]:12.1f} "
+            f"{payload['speedup'][speedup_key]:7.2f}x"
+        )
+    report("core_hotpath", "\n".join(lines))
+
+    speedup = payload["speedup"]
+    # Floors sit well under the reference-machine measurements
+    # (1.4x / 1.8x / 5.8x / 2.1x / 1.55x) to absorb machine variance
+    # while still catching a genuine hot-path regression.
+    assert speedup["events_per_sec"] > 1.1
+    assert speedup["call_every_ticks_per_sec"] > 1.2
+    assert speedup["rate_fn_rounds_per_sec"] > 2.0
+    assert speedup["fox_solves_per_sec"] > 1.3
+    assert speedup["fig09_static_sweep"] > 1.2
+    # The pooled sweep must never lose to the seed; on multi-core machines
+    # it should clear 3x (the pool adds nothing on a single core).
+    assert speedup["fig09_static_sweep_pool"] > 1.2
+
+
+def main() -> None:
+    payload = collect_report()
+    BENCH_JSON.write_text(json.dumps(payload, indent=1) + "\n")
+    print(json.dumps(payload, indent=1))
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,7 @@ import pytest
 from repro.core.clustering import cluster_functions
 from repro.core.monotone import monotone_regression
 from repro.core.rate_function import BlockingRateFunction
+from repro.util.perf import COUNTERS
 
 
 def populated_function(points=40, seed=7):
@@ -44,6 +45,38 @@ def bench_full_table(benchmark):
     fn = populated_function()
     values = benchmark(fn.values)
     assert len(values) == 1001
+
+
+def bench_cached_table_sweep(benchmark):
+    """A solver-style sweep over the cached table — no rebuild per read.
+
+    This is the post-overhaul solver path: every marginal-step evaluation
+    is a list index into the one table built after the last mutation.
+    """
+    fn = populated_function()
+    fn.table()  # prime the cache
+
+    def sweep():
+        table = fn.table()
+        return sum(table[w] for w in range(1001))
+
+    total = benchmark(sweep)
+    assert total >= 0.0
+    # The whole measured window must have reused one cached table: repeated
+    # reads return the identical object and build nothing new.
+    builds_before = COUNTERS.table_builds
+    assert fn.table() is fn.table()
+    assert COUNTERS.table_builds == builds_before
+    # Every mutation invalidates: the next read rebuilds exactly once.
+    for mutate in (
+        lambda: fn.observe(500, 0.25),
+        lambda: fn.decay_above(200, 0.1),
+        lambda: fn.forget(),
+    ):
+        builds_before = COUNTERS.table_builds
+        mutate()
+        fn.table()
+        assert COUNTERS.table_builds == builds_before + 1
 
 
 @pytest.mark.parametrize("size", [100, 1000])

@@ -238,7 +238,9 @@ class LoadBalancer:
     def _solve_direct(self) -> list[int]:
         solver = _SOLVERS[self.config.solver]
         constraints = self._member_constraints()
-        evaluators = [fn.value for fn in self.functions]
+        # The solvers index the cached [F(0)..F(R)] tables directly — O(1)
+        # per marginal step; entries are bit-identical to fn.value(w).
+        evaluators = [fn.table() for fn in self.functions]
         self.last_clusters = [[j] for j in range(self.n_connections)]
         return solver(evaluators, self.config.resolution, constraints)
 

@@ -63,6 +63,8 @@ class WeightedPolicy:
         self.n_connections = len(weights)
         self._weights: list[int] = []
         self._credits: list[float] = []
+        self._active: list[tuple[int, int]] = []
+        self._total = 0
         self.set_weights(weights)
 
     @property
@@ -88,21 +90,24 @@ class WeightedPolicy:
             raise ValueError("at least one weight must be positive")
         self._weights = cleaned
         self._credits = [0.0] * len(cleaned)
+        # Weights change at control-interval granularity but are read on
+        # every routed tuple: precompute the nonzero (index, weight) pairs
+        # and their sum once per change instead of filtering per pick.
+        self._active = [(j, w) for j, w in enumerate(cleaned) if w]
+        self._total = sum(w for _, w in self._active)
 
     def next_connection(self) -> int:
         """Pick by smooth weighted round-robin."""
-        total = 0
+        credits = self._credits
         best = -1
         best_credit = float("-inf")
-        for j, w in enumerate(self._weights):
-            if w == 0:
-                continue
-            total += w
-            self._credits[j] += w
-            if self._credits[j] > best_credit:
-                best_credit = self._credits[j]
+        for j, w in self._active:
+            c = credits[j] + w
+            credits[j] = c
+            if c > best_credit:
+                best_credit = c
                 best = j
-        self._credits[best] -= total
+        credits[best] -= self._total
         return best
 
     def reroute_candidates(self, blocked: int) -> Iterable[int]:

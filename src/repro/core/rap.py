@@ -19,7 +19,11 @@ with every ``F_j`` monotone non-decreasing. Three exact solvers:
 * :func:`solve_minimax_bruteforce` — exhaustive enumeration for tiny
   instances; the test oracle.
 
-All take ``functions`` as callables ``f(w) -> float`` over integer weights.
+All take ``functions`` as callables ``f(w) -> float`` over integer weights
+*or* as pre-computed value tables (any sequence indexed by weight, e.g. the
+cached ``[F(0)..F(R)]`` list from
+:meth:`repro.core.rate_function.BlockingRateFunction.table`) — tables make
+each marginal evaluation an O(1) list index instead of an interpolation.
 """
 
 from __future__ import annotations
@@ -29,8 +33,16 @@ import itertools
 from collections.abc import Callable, Sequence
 
 from repro.core.constraints import WeightConstraints
+from repro.util.perf import COUNTERS
 
-RateFunction = Callable[[int], float]
+RateFunction = Callable[[int], float] | Sequence[float]
+
+
+def _as_evaluators(
+    functions: Sequence[RateFunction],
+) -> list[Callable[[int], float]]:
+    """Normalize functions/tables into callables (tables via __getitem__)."""
+    return [f if callable(f) else f.__getitem__ for f in functions]
 
 
 class InfeasibleError(ValueError):
@@ -75,6 +87,8 @@ def solve_minimax_fox(
     if constraints is None:
         constraints = WeightConstraints.unbounded(len(functions), resolution)
     _check_instance(functions, resolution, constraints)
+    COUNTERS.solver_calls += 1
+    functions = _as_evaluators(functions)
 
     weights = list(constraints.minima)
     remaining = resolution - sum(weights)
@@ -117,6 +131,8 @@ def solve_minimax_binary_search(
     if constraints is None:
         constraints = WeightConstraints.unbounded(len(functions), resolution)
     _check_instance(functions, resolution, constraints)
+    COUNTERS.solver_calls += 1
+    functions = _as_evaluators(functions)
 
     forced = max(
         fn(lo) for fn, lo in zip(functions, constraints.minima)
@@ -185,6 +201,8 @@ def solve_minimax_bruteforce(
     if constraints is None:
         constraints = WeightConstraints.unbounded(len(functions), resolution)
     _check_instance(functions, resolution, constraints)
+    COUNTERS.solver_calls += 1
+    functions = _as_evaluators(functions)
 
     ranges = [
         range(lo, hi + 1)
@@ -210,4 +228,6 @@ def objective(
     """The minimax objective ``max_j F_j(w_j)`` for a given allocation."""
     if len(functions) != len(weights):
         raise ValueError("functions and weights must have the same length")
-    return max(fn(w) for fn, w in zip(functions, weights))
+    return max(
+        fn(w) for fn, w in zip(_as_evaluators(functions), weights)
+    )

@@ -22,6 +22,19 @@ The exploration mechanism of Section 5.4 is :meth:`decay_above`: every
 control round, predicted blocking for all weights above the connection's
 current weight is reduced by a fixed fraction (the paper chose 10%), so
 stale pessimism fades and the optimizer is eventually induced to re-explore.
+
+Caching
+-------
+
+Both the monotone fit and the full fitted table ``[F(0) .. F(R)]`` are
+cached and invalidated together by every mutation (:meth:`observe`,
+:meth:`decay_above`, :meth:`forget`). The solvers walk the table through
+:meth:`table` in O(1) per evaluation instead of re-running a bisect
+interpolation per marginal step; :meth:`values`, integer-weight
+:meth:`value` calls, and :meth:`knee_weight` all read the same table. The
+table is built segment-by-segment with the exact same arithmetic the
+point-wise interpolation used, so cached and uncached evaluations are
+bit-identical.
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
+from repro.util.perf import COUNTERS
 from repro.util.validation import check_fraction, check_non_negative, check_positive
 
 #: The paper's resolution: 1000 units of 0.1% each.
@@ -45,6 +59,15 @@ class _RawCell:
 
 class BlockingRateFunction:
     """One connection's predicted blocking rate versus allocation weight."""
+
+    __slots__ = (
+        "resolution",
+        "smoothing_alpha",
+        "max_count",
+        "_raw",
+        "_fit_cache",
+        "_table",
+    )
 
     def __init__(
         self,
@@ -64,8 +87,13 @@ class BlockingRateFunction:
         # Raw smoothed data, keyed by weight. (0, 0) is assumed and pinned.
         self._raw: dict[int, _RawCell] = {0: _RawCell(0.0, 1)}
         self._fit_cache: tuple[list[int], list[float], float] | None = None
+        self._table: list[float] | None = None
 
     # ------------------------------------------------------------- updates
+
+    def _invalidate(self) -> None:
+        self._fit_cache = None
+        self._table = None
 
     def observe(self, weight: int, rate: float) -> None:
         """Smooth a new blocking-rate sample at ``weight`` into the data.
@@ -85,7 +113,7 @@ class BlockingRateFunction:
         else:
             cell.value += self.smoothing_alpha * (float(rate) - cell.value)
             cell.count = min(cell.count + 1, self.max_count)
-        self._fit_cache = None
+        self._invalidate()
 
     def decay_above(self, weight: int, fraction: float = 0.1) -> None:
         """Reduce predicted blocking above ``weight`` by ``fraction``.
@@ -105,12 +133,12 @@ class BlockingRateFunction:
                 cell.value *= 1.0 - fraction
                 decayed = True
         if decayed:
-            self._fit_cache = None
+            self._invalidate()
 
     def forget(self) -> None:
         """Drop all observations (topology change)."""
         self._raw = {0: _RawCell(0.0, 1)}
-        self._fit_cache = None
+        self._invalidate()
 
     @classmethod
     def pooled(
@@ -124,31 +152,44 @@ class BlockingRateFunction:
         a count-weighted average. The pooled function "will also tend to
         be more robust, because it incorporates more data than is
         available to just a single channel".
+
+        ``smoothing_alpha`` and ``max_count`` are copied verbatim from the
+        first member (no re-validation — members already validated them).
+        The average accumulates each weight's full count-weighted mass
+        before dividing once, so pooling two members is exactly
+        order-independent (float ``+`` and ``*`` are commutative); counts
+        clamp to ``max_count`` only at the end.
         """
         if not members:
             raise ValueError("need at least one member function")
-        resolution = members[0].resolution
+        first = members[0]
+        resolution = first.resolution
         if any(m.resolution != resolution for m in members):
             raise ValueError("member functions must share a resolution")
-        pooled = cls(
-            resolution,
-            smoothing_alpha=members[0].smoothing_alpha,
-            max_count=members[0].max_count,
-        )
+        pooled = cls.__new__(cls)
+        pooled.resolution = resolution
+        pooled.smoothing_alpha = first.smoothing_alpha
+        pooled.max_count = first.max_count
+        mass: dict[int, float] = {}
+        counts: dict[int, int] = {}
         for member in members:
             for weight, cell in member._raw.items():
                 if weight == 0:
                     continue
-                existing = pooled._raw.get(weight)
-                if existing is None:
-                    pooled._raw[weight] = _RawCell(cell.value, cell.count)
+                if weight in counts:
+                    mass[weight] += cell.value * cell.count
+                    counts[weight] += cell.count
                 else:
-                    total = existing.count + cell.count
-                    existing.value = (
-                        existing.value * existing.count + cell.value * cell.count
-                    ) / total
-                    existing.count = min(total, pooled.max_count)
+                    mass[weight] = cell.value * cell.count
+                    counts[weight] = cell.count
+        raw: dict[int, _RawCell] = {0: _RawCell(0.0, 1)}
+        for weight, count in counts.items():
+            raw[weight] = _RawCell(
+                mass[weight] / count, min(count, pooled.max_count)
+            )
+        pooled._raw = raw
         pooled._fit_cache = None
+        pooled._table = None
         return pooled
 
     # ------------------------------------------------------------- queries
@@ -167,11 +208,18 @@ class BlockingRateFunction:
 
         Accepts fractional weights (linear interpolation); used by the
         cluster-level functions, which evaluate at ``W / cluster_size``.
+        Integer weights are read straight from the cached table.
         """
         if not 0 <= weight <= self.resolution:
             raise ValueError(
                 f"weight must be in [0, {self.resolution}], got {weight}"
             )
+        iw = int(weight)
+        if iw == weight:
+            table = self._table
+            if table is None:
+                table = self._build_table()
+            return table[iw]
         xs, ys, slope = self._fit()
         if weight >= xs[-1]:
             return ys[-1] + slope * (weight - xs[-1])
@@ -184,9 +232,20 @@ class BlockingRateFunction:
             return y1
         return y0 + (y1 - y0) * (weight - x0) / (x1 - x0)
 
+    def table(self) -> list[float]:
+        """The cached fitted table ``[F(0), F(1), ..., F(R)]``.
+
+        Returns the internal cache — treat it as read-only. The solvers
+        evaluate marginal steps as ``table()[w]`` in O(1).
+        """
+        table = self._table
+        if table is None:
+            table = self._build_table()
+        return table
+
     def values(self) -> list[float]:
-        """The full fitted table ``[F(0), F(1), ..., F(R)]``."""
-        return [self.value(w) for w in range(self.resolution + 1)]
+        """A copy of the full fitted table ``[F(0), F(1), ..., F(R)]``."""
+        return list(self.table())
 
     def knee_weight(self, threshold: float = 0.0) -> int:
         """The service-rate knee ``w_{j,s}`` (Section 5.3).
@@ -196,26 +255,10 @@ class BlockingRateFunction:
         service rate, it experiences no blocking". Returns ``resolution``
         when the function never exceeds the threshold (no blocking seen).
         """
-        xs, ys, slope = self._fit()
-        if ys[-1] <= threshold:
-            # Check extrapolation beyond the last raw point.
-            if slope <= 0.0 or self.value(self.resolution) <= threshold:
-                return self.resolution
-            # First extrapolated weight above threshold.
-            over = xs[-1] + (threshold - ys[-1]) / slope
-            return max(0, min(self.resolution, int(over)))
-        # Binary search over fitted breakpoints for last value <= threshold.
-        idx = bisect.bisect_right(ys, threshold) - 1
-        if idx < 0:
-            return 0
-        # Within the segment [xs[idx], xs[idx+1]] the fit is linear; find
-        # the largest integer weight still at or below the threshold.
-        x0, y0 = xs[idx], ys[idx]
-        x1, y1 = xs[idx + 1], ys[idx + 1]
-        if y1 == y0:
-            return x1
-        crossing = x0 + (threshold - y0) * (x1 - x0) / (y1 - y0)
-        return max(0, min(self.resolution, int(crossing)))
+        table = self.table()
+        # The table is monotone non-decreasing: the knee is the last index
+        # at or below the threshold.
+        return max(0, bisect.bisect_right(table, threshold) - 1)
 
     # ------------------------------------------------------------- internal
 
@@ -233,6 +276,7 @@ class BlockingRateFunction:
             return self._fit_cache
         from repro.core.monotone import monotone_regression
 
+        COUNTERS.fits += 1
         xs = sorted(self._raw)
         raw_values = [self._raw[w].value for w in xs]
         counts = [float(self._raw[w].count) for w in xs]
@@ -243,6 +287,38 @@ class BlockingRateFunction:
             slope = 0.0
         self._fit_cache = (xs, ys, slope)
         return self._fit_cache
+
+    def _build_table(self) -> list[float]:
+        """Materialize ``[F(0) .. F(R)]`` from the fit, segment by segment.
+
+        Uses the identical arithmetic of the point-wise interpolation
+        (``y0 + (y1 - y0) * (w - x0) / (x1 - x0)`` inside a segment,
+        ``ys[-1] + slope * (w - xs[-1])`` beyond the last raw point), so
+        every entry equals what :meth:`value` computed before caching.
+        """
+        COUNTERS.table_builds += 1
+        xs, ys, slope = self._fit()
+        resolution = self.resolution
+        table = [0.0] * (resolution + 1)
+        for idx in range(1, len(xs)):
+            x0, x1 = xs[idx - 1], xs[idx]
+            y0, y1 = ys[idx - 1], ys[idx]
+            dy = y1 - y0
+            end = min(x1, resolution + 1)
+            if dy == 0.0:
+                table[x0:end] = [y0] * (end - x0)
+            else:
+                dx = x1 - x0
+                for w in range(x0, end):
+                    table[w] = y0 + dy * (w - x0) / dx
+        last_x, last_y = xs[-1], ys[-1]
+        if slope == 0.0:
+            table[last_x:] = [last_y] * (resolution + 1 - last_x)
+        else:
+            for w in range(last_x, resolution + 1):
+                table[w] = last_y + slope * (w - last_x)
+        self._table = table
+        return table
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

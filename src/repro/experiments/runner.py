@@ -18,6 +18,7 @@ metrics and time series the paper's figures plot.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 
 from repro.core.balancer import BalancerConfig, LoadBalancer, even_split
@@ -76,6 +77,17 @@ class RunResult:
     block_events: int
     #: Final allocation weights.
     final_weights: list[int] = field(default_factory=list)
+    #: Simulator events fired during the run (performance diagnostic).
+    events_processed: int = 0
+    #: Wall-clock seconds the run took (performance diagnostic; excluded
+    #: from any result digest — it varies run to run).
+    wall_seconds: float = 0.0
+
+    def events_per_second(self) -> float:
+        """Fired simulator events per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
 
     def final_throughput(self, fraction: float = 0.1) -> float:
         """Mean throughput over the trailing ``fraction`` of the run.
@@ -297,7 +309,9 @@ def run_experiment(
         region.merger.on_completion(config.total_tuples, on_done)
 
     region.start()
+    wall_start = time.perf_counter()
     sim.run_until(config.horizon())
+    wall_seconds = time.perf_counter() - wall_start
 
     execution_time = (
         region.merger.last_emit_time if completed else None
@@ -319,4 +333,6 @@ def run_experiment(
         total_sent=region.splitter.tuples_sent,
         block_events=region.splitter.block_events,
         final_weights=current_weights(),
+        events_processed=sim.events_processed,
+        wall_seconds=wall_seconds,
     )

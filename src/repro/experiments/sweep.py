@@ -4,11 +4,26 @@ This is the engine behind Figures 9, 10, 11 (bottom) and 13: for every
 region width, run every policy on an otherwise identical configuration,
 collect execution time and final throughput, and normalize times to the
 figure's baseline.
+
+Sweep points are independent simulations, so the grid runs on a process
+pool by default (one worker per core). Determinism is unaffected: every
+point's randomness comes from seeds inside its own configuration, results
+are collected back in grid order, and normalization happens after the
+whole grid finishes — ``REPRO_JOBS=1`` (or ``jobs=1``) produces
+byte-identical rows to the parallel run. Set ``REPRO_JOBS`` to cap the
+worker count, or ``REPRO_JOBS=1`` to opt out of the pool entirely.
+
+The pool uses the ``fork`` start method so the configuration factory (a
+closure, typically) reaches the workers without pickling; platforms or
+sandboxes where forking a pool fails simply fall back to the serial path.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import SweepRow, normalize_to
@@ -16,6 +31,71 @@ from repro.experiments.runner import run_experiment
 
 ConfigFactory = Callable[[int], ExperimentConfig]
 """Builds the configuration for a given PE count."""
+
+#: Environment variable capping sweep workers (1 disables the pool).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: State inherited by forked pool workers: (factory, points, record_series).
+#: Set immediately before the pool is created; fork snapshots it, so
+#: nothing (in particular the factory closure) is ever pickled.
+_FORK_STATE: tuple[ConfigFactory, list[tuple[int, str]], bool] | None = None
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    """Worker count: explicit ``jobs`` > ``REPRO_JOBS`` > CPU count."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    return jobs
+
+
+def _run_point(index: int) -> SweepRow:
+    """Run one grid point in a pool worker (reads the forked state)."""
+    assert _FORK_STATE is not None
+    config_factory, points, record_series = _FORK_STATE
+    n_pes, policy = points[index]
+    result = run_experiment(
+        config_factory(n_pes), policy, record_series=record_series
+    )
+    return SweepRow.from_result(result)
+
+
+def _run_grid_parallel(
+    config_factory: ConfigFactory,
+    points: list[tuple[int, str]],
+    record_series: bool,
+    n_jobs: int,
+) -> list[SweepRow] | None:
+    """Run the grid on a fork-based process pool; ``None`` if unavailable."""
+    global _FORK_STATE
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    _FORK_STATE = (config_factory, points, record_series)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=n_jobs, mp_context=mp_context
+        ) as pool:
+            # map() preserves submission order, so rows come back in the
+            # exact grid order the serial path produces.
+            return list(pool.map(_run_point, range(len(points))))
+    except Exception:
+        # Pools need working fork + semaphores; restricted environments
+        # deny either. The sweep still completes — serially.
+        return None
+    finally:
+        _FORK_STATE = None
 
 
 def run_sweep(
@@ -25,14 +105,26 @@ def run_sweep(
     *,
     normalize_baseline: str | None = "oracle",
     record_series: bool = False,
+    jobs: int | None = None,
 ) -> list[SweepRow]:
-    """Run the full grid and return one row per (PE count, policy)."""
-    rows: list[SweepRow] = []
-    for n_pes in pe_counts:
-        for policy in policies:
-            config = config_factory(n_pes)
+    """Run the full grid and return one row per (PE count, policy).
+
+    ``jobs`` caps the process-pool width (default: ``REPRO_JOBS`` or the
+    CPU count; 1 runs serially in-process).
+    """
+    points = [(n_pes, policy) for n_pes in pe_counts for policy in policies]
+    rows: list[SweepRow] | None = None
+    if points:
+        n_jobs = min(_resolve_jobs(jobs), len(points))
+        if n_jobs > 1:
+            rows = _run_grid_parallel(
+                config_factory, points, record_series, n_jobs
+            )
+    if rows is None:
+        rows = []
+        for n_pes, policy in points:
             result = run_experiment(
-                config, policy, record_series=record_series
+                config_factory(n_pes), policy, record_series=record_series
             )
             rows.append(SweepRow.from_result(result))
     if normalize_baseline is not None:

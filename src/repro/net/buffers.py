@@ -59,11 +59,13 @@ class BoundedBuffer(Generic[T]):
 
     def is_full(self) -> bool:
         """True when no push or reservation can be accepted."""
-        return self.free_slots <= 0
+        # Inlined free-slot arithmetic: this runs per tuple on the
+        # transport hot path, where a property access is measurable.
+        return self.capacity - len(self._items) - self._reserved <= 0
 
     def try_push(self, item: T) -> bool:
         """Append ``item`` if there is space; return whether it was taken."""
-        if self.is_full():
+        if self.capacity - len(self._items) - self._reserved <= 0:
             return False
         self._items.append(item)
         return True

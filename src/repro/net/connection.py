@@ -43,11 +43,18 @@ class SimulatedConnection:
         send_capacity: int = 32,
         recv_capacity: int = 32,
         wire_delay: float = 0.0,
+        batch_transfers: bool = True,
     ) -> None:
         check_non_negative("wire_delay", wire_delay)
         self.sim = sim
         self.conn_id = conn_id
         self.wire_delay = wire_delay
+        #: Coalesce all in-flight transfers started by one pump into a
+        #: single arrival event (semantics-preserving; see :meth:`_pump`).
+        #: Disable to schedule one event per tuple, as the pre-batching
+        #: engine did — the determinism tests assert results are identical
+        #: either way.
+        self.batch_transfers = batch_transfers
         self._send_buffer: BoundedBuffer[Any] = BoundedBuffer(send_capacity)
         self._recv_buffer: BoundedBuffer[Any] = BoundedBuffer(recv_capacity)
         #: Cumulative blocking time charged by the sender (Section 3).
@@ -130,39 +137,73 @@ class SimulatedConnection:
         Reentrant calls (a delivery callback that synchronously takes a
         tuple, which frees receive space) are flattened into the outer
         loop via the ``_pumping`` guard.
+
+        With a nonzero ``wire_delay``, every transfer this pump starts
+        shares the same start time and arrives after the same delay, and
+        the pre-batching engine queued those arrivals as consecutive
+        same-time events nothing could interleave with. Batching them into
+        one event (:meth:`_arrive_batch`, the ``batch_transfers`` default)
+        therefore preserves semantics exactly while scheduling one event
+        per pump instead of one per tuple. Blocking accounting is
+        untouched: space is reserved per tuple when its transfer starts,
+        and delivery/counters advance per tuple on arrival.
         """
         if self._pumping:
             return
         self._pumping = True
         freed_send_space = False
+        send_buffer = self._send_buffer
+        recv_buffer = self._recv_buffer
         try:
-            while self._send_buffer and not self._recv_buffer.is_full():
-                item = self._send_buffer.pop()
-                freed_send_space = True
-                if self.wire_delay == 0.0:
-                    self._recv_buffer.push(item)
+            if self.wire_delay == 0.0:
+                while send_buffer and not recv_buffer.is_full():
+                    item = send_buffer.pop()
+                    freed_send_space = True
+                    recv_buffer.push(item)
                     self.tuples_delivered += 1
                     if self.on_deliver is not None:
                         self.on_deliver()
-                else:
-                    self._recv_buffer.reserve()
-                    self.sim.call_after(
-                        self.wire_delay, lambda it=item: self._arrive(it)
-                    )
+            else:
+                batch: list[Any] | None = None
+                while send_buffer and not recv_buffer.is_full():
+                    item = send_buffer.pop()
+                    freed_send_space = True
+                    recv_buffer.reserve()
+                    if batch is None:
+                        batch = [item]
+                    else:
+                        batch.append(item)
+                if batch is not None:
+                    if self.batch_transfers:
+                        self.sim.schedule_after(
+                            self.wire_delay,
+                            lambda items=batch: self._arrive_batch(items),
+                        )
+                    else:
+                        for item in batch:
+                            self.sim.schedule_after(
+                                self.wire_delay,
+                                lambda it=item: self._arrive_batch((it,)),
+                            )
         finally:
             self._pumping = False
         if freed_send_space:
             self._wake_sender()
 
-    def _arrive(self, item: Any) -> None:
-        """Complete a delayed in-flight transfer."""
-        self._recv_buffer.push_reserved(item)
-        self.tuples_delivered += 1
-        if self.on_deliver is not None:
-            self.on_deliver()
-        # Delivery itself frees no send space, but the callback may have
-        # consumed tuples; let flow control catch up.
-        self._pump()
+    def _arrive_batch(self, items: "tuple[Any, ...] | list[Any]") -> None:
+        """Complete delayed in-flight transfers, one tuple at a time.
+
+        Each tuple runs the exact per-arrival sequence of the unbatched
+        engine: convert its reservation, count it, notify the consumer,
+        then let flow control catch up (the delivery callback may have
+        consumed tuples and freed receive space).
+        """
+        for item in items:
+            self._recv_buffer.push_reserved(item)
+            self.tuples_delivered += 1
+            if self.on_deliver is not None:
+                self.on_deliver()
+            self._pump()
 
     def _wake_sender(self) -> None:
         """Fire the parked sender, if any and if space truly exists."""

@@ -7,17 +7,64 @@ machinery, which keeps runs deterministic and fast.
 
 Time is in *simulated seconds*. The paper reports everything against
 elapsed seconds, so simulated seconds preserve every reported ratio.
+
+Two scheduling flavours exist:
+
+* :meth:`Simulator.call_at` / :meth:`Simulator.call_after` return an
+  :class:`~repro.sim.events.Event` handle that can be cancelled;
+* :meth:`Simulator.schedule_at` / :meth:`Simulator.schedule_after` return
+  nothing — the engine recycles their heap cells through a free list, so
+  the per-tuple traffic that dominates every experiment allocates no
+  event objects. Use these on hot paths that never cancel.
+
+:meth:`Simulator.call_every` is backed by a reusable timer that re-arms a
+single heap cell each tick instead of allocating a fresh event, so
+samplers and controllers cost nothing per firing beyond their callback.
 """
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from collections.abc import Callable
 
 from repro.sim.events import Event, EventQueue
+from repro.util.perf import PerfCounters
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
+
+
+class _RepeatingTimer:
+    """A ``call_every`` repetition that reuses one heap cell per tick."""
+
+    __slots__ = ("_sim", "_interval", "_callback", "_cell", "_active")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        callback: Callable[[], None],
+        first: float,
+    ) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._active = True
+        # The timer itself occupies the handle slot, which marks the cell
+        # as non-recyclable: after each firing the cell is re-armed here.
+        self._cell = sim._queue.new_cell(first, self._fire, self)
+
+    def _fire(self) -> None:
+        self._callback()
+        if self._active:
+            sim = self._sim
+            sim._queue.repush(self._cell, sim._now + self._interval)
+
+    def cancel(self) -> None:
+        self._active = False
+        self._sim._queue.cancel_cell(self._cell)
 
 
 class Simulator:
@@ -31,13 +78,21 @@ class Simulator:
         sim.run_until(10.0)
     """
 
-    __slots__ = ("_queue", "_now", "_running", "_stopped", "events_processed")
+    __slots__ = (
+        "_queue",
+        "_now",
+        "_running",
+        "_stopped",
+        "_trace",
+        "events_processed",
+    )
 
     def __init__(self) -> None:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
         self._stopped = False
+        self._trace: "hashlib._Hash | None" = None
         #: Total events fired so far; useful for performance reporting.
         self.events_processed = 0
 
@@ -45,6 +100,8 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # ----------------------------------------------------------- scheduling
 
     def call_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute simulated time ``time``."""
@@ -60,6 +117,20 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay}")
         return self._queue.push(self._now + delay, callback)
 
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Hot-path :meth:`call_at`: no cancellation handle, no allocation."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        self._queue.schedule(time, callback)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Hot-path :meth:`call_after`: no cancellation handle, no allocation."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._queue.schedule(self._now + delay, callback)
+
     def call_every(
         self,
         interval: float,
@@ -70,33 +141,79 @@ class Simulator:
         """Schedule ``callback`` every ``interval`` seconds.
 
         The first firing is at ``start`` (default: one interval from now).
-        Returns a zero-argument function that cancels the repetition.
+        Returns a zero-argument function that cancels the repetition. The
+        repetition reuses a single heap cell, so each tick allocates no
+        event objects.
         """
         if interval <= 0:
             raise SimulationError(f"interval must be positive: {interval}")
-        state: dict[str, Event | None] = {"event": None}
-        active = True
-
-        def fire() -> None:
-            callback()
-            if active:
-                state["event"] = self.call_after(interval, fire)
-
         first = start if start is not None else self._now + interval
-        state["event"] = self.call_at(first, fire)
+        if first < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {first} < now {self._now}"
+            )
+        return _RepeatingTimer(self, interval, callback, first).cancel
 
-        def cancel() -> None:
-            nonlocal active
-            active = False
-            event = state["event"]
-            if event is not None:
-                event.cancel()
+    # ------------------------------------------------------------- metrics
 
-        return cancel
+    @property
+    def perf(self) -> PerfCounters:
+        """Snapshot of the engine's performance counters."""
+        queue = self._queue
+        return PerfCounters(
+            events_processed=self.events_processed,
+            events_scheduled=queue.scheduled_total,
+            events_cancelled=queue.cancellations,
+            heap_compactions=queue.compactions,
+            live_events=len(queue),
+        )
+
+    def enable_tracing(self) -> None:
+        """Hash every fired event's ``(time, seq)`` into a golden trace.
+
+        The digest (:meth:`trace_digest`) pins the exact event order of a
+        run; two runs with identical semantics produce identical digests.
+        Adds one branch per event when disabled, a hash update when on.
+        """
+        self._trace = hashlib.blake2b(digest_size=16)
+
+    def trace_digest(self) -> str:
+        """Hex digest of the event trace so far (requires tracing enabled)."""
+        if self._trace is None:
+            raise SimulationError("tracing is not enabled")
+        return self._trace.hexdigest()
+
+    # ------------------------------------------------------------- running
 
     def stop(self) -> None:
         """Request the current :meth:`run_until` loop to return."""
         self._stopped = True
+
+    def _run(self, end_time: float) -> None:
+        """Fire all due events in order; the shared core of both run modes."""
+        queue = self._queue
+        pop_due = queue.pop_due
+        recycle = queue.recycle
+        trace = self._trace
+        pack = struct.Struct("<dq").pack if trace is not None else None
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                cell = pop_due(end_time)
+                if cell is None:
+                    break
+                self._now = cell[0]
+                self.events_processed += 1
+                if trace is not None:
+                    trace.update(pack(cell[0], cell[1]))
+                callback = cell[2]
+                if cell[3] is None:
+                    # Handle-less cell: no reference escaped, safe to reuse.
+                    recycle(cell)
+                callback()
+        finally:
+            self._running = False
 
     def run_until(self, end_time: float) -> None:
         """Fire events in order until the clock reaches ``end_time``.
@@ -111,38 +228,12 @@ class Simulator:
             raise SimulationError(
                 f"end_time {end_time} is before now {self._now}"
             )
-        self._running = True
-        self._stopped = False
-        try:
-            while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > end_time:
-                    break
-                event = self._queue.pop()
-                assert event is not None  # peek said there was one
-                self._now = event.time
-                self.events_processed += 1
-                event.callback()
-            if not self._stopped:
-                self._now = end_time
-        finally:
-            self._running = False
+        self._run(end_time)
+        if not self._stopped:
+            self._now = end_time
 
     def run_until_idle(self, max_time: float) -> None:
         """Run until the queue drains, but never past ``max_time``."""
         if self._running:
             raise SimulationError("run_until_idle is not reentrant")
-        self._running = True
-        self._stopped = False
-        try:
-            while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > max_time:
-                    break
-                event = self._queue.pop()
-                assert event is not None
-                self._now = event.time
-                self.events_processed += 1
-                event.callback()
-        finally:
-            self._running = False
+        self._run(max_time)

@@ -3,65 +3,256 @@
 Determinism matters: two events scheduled for the same instant fire in the
 order they were scheduled (FIFO tie-break on a monotone sequence number).
 Every experiment in the repository is therefore reproducible bit-for-bit.
+
+Hot-path representation
+-----------------------
+
+The heap does not store :class:`Event` objects. Each entry is a plain
+5-slot list cell ``[time, seq, callback, handle, alive]``:
+
+* list-vs-list comparison runs at C speed and never looks past ``seq``
+  (sequence numbers are unique), so no ``__lt__`` is ever dispatched to
+  Python code;
+* the hand-off path that dominates simulations (:meth:`EventQueue.schedule`)
+  returns no handle at all, which lets the engine recycle the cell through
+  a free list — steady-state tuple traffic allocates no per-event objects;
+* :meth:`EventQueue.push` wraps the cell in a lightweight :class:`Event`
+  handle (stored in slot 3) so callers can cancel it. Cells with handles
+  are never recycled, and the ``alive`` flag makes a stale ``cancel()``
+  (after the event fired) a safe no-op.
+
+Cancellation is lazy (``callback`` set to ``None``; skipped on pop), but
+the queue tracks a live-event count so ``__len__`` is exact, and compacts
+the heap when cancelled entries start to dominate.
+
+Cell index constants: ``_TIME=0, _SEQ=1, _CB=2, _HANDLE=3, _ALIVE=4``.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
+
+#: Upper bound on recycled cells kept around between bursts.
+_FREE_LIST_MAX = 512
+#: Compaction triggers only once at least this many dead entries piled up.
+_COMPACT_MIN_DEAD = 64
 
 
-@dataclass(order=True, slots=True)
 class Event:
-    """A scheduled callback.
+    """Handle to a scheduled callback.
 
-    Ordering is by ``(time, seq)``; ``seq`` is the global scheduling order,
-    so simultaneous events fire FIFO. A cancelled event stays in the heap
-    but is skipped when popped (lazy deletion, the standard heapq idiom).
+    Ordering of the underlying queue is by ``(time, seq)``; ``seq`` is the
+    global scheduling order, so simultaneous events fire FIFO. A cancelled
+    event stays in the heap but is skipped when popped (lazy deletion, the
+    standard heapq idiom).
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("_cell", "_queue")
+
+    def __init__(self, cell: list, queue: "EventQueue") -> None:
+        self._cell = cell
+        self._queue = queue
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._cell[0]
+
+    @property
+    def seq(self) -> int:
+        """Global scheduling order (FIFO tie-break)."""
+        return self._cell[1]
+
+    @property
+    def callback(self) -> Callable[[], None] | None:
+        """The scheduled callback (``None`` once cancelled)."""
+        return self._cell[2]
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cell[2] is None
 
     def cancel(self) -> None:
-        """Mark the event so the queue drops it instead of firing it."""
-        self.cancelled = True
+        """Mark the event so the queue drops it instead of firing it.
+
+        Cancelling an event that already fired (or cancelling twice) is a
+        no-op — the ``alive`` flag guards the queue's live count.
+        """
+        self._queue.cancel_cell(self._cell)
 
 
 class EventQueue:
-    """A priority queue of :class:`Event` objects with lazy cancellation."""
+    """A priority queue of scheduled callbacks with lazy cancellation."""
 
-    __slots__ = ("_heap", "_counter")
+    __slots__ = (
+        "_heap",
+        "_seq",
+        "_live",
+        "_free",
+        "compactions",
+        "cancellations",
+    )
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[list] = []
+        self._seq = 0
+        self._live = 0
+        self._free: list[list] = []
+        #: Heap rebuilds triggered by cancelled-entry pile-up (diagnostic).
+        self.compactions = 0
+        #: Total events cancelled over the queue's lifetime (diagnostic).
+        self.cancellations = 0
 
     def __len__(self) -> int:
-        # May overcount by cancelled events; exactness is not needed by
-        # callers (they only test emptiness via pop()).
-        return len(self._heap)
+        """Number of *live* (scheduled, not cancelled) events."""
+        return self._live
+
+    @property
+    def scheduled_total(self) -> int:
+        """Total events ever scheduled (live + fired + cancelled)."""
+        return self._seq
+
+    # ------------------------------------------------------------ scheduling
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at ``time`` and return its handle."""
-        event = Event(time=time, seq=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        cell = [time, seq, callback, None, True]
+        event = Event(cell, self)
+        cell[3] = event
+        heappush(self._heap, cell)
+        self._live += 1
         return event
 
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at ``time`` without returning a handle.
+
+        The hot path: because no handle escapes, the engine may recycle the
+        heap cell after firing, so steady-state traffic allocates nothing.
+        Events scheduled this way cannot be cancelled.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            cell = free.pop()
+            cell[0] = time
+            cell[1] = seq
+            cell[2] = callback
+            cell[4] = True
+        else:
+            cell = [time, seq, callback, None, True]
+        heappush(self._heap, cell)
+        self._live += 1
+
+    def repush(self, cell: list, time: float) -> None:
+        """Re-arm a previously fired cell at ``time`` (reusable timers).
+
+        The caller owns the cell (its ``handle`` slot marks it
+        non-recyclable) and guarantees it is not currently in the heap.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        cell[0] = time
+        cell[1] = seq
+        cell[4] = True
+        heappush(self._heap, cell)
+        self._live += 1
+
+    def new_cell(
+        self, time: float, callback: Callable[[], None], owner: object
+    ) -> list:
+        """Schedule a fresh cell owned by ``owner`` and return it.
+
+        ``owner`` is stored in the handle slot, which (being non-``None``)
+        keeps the engine from recycling the cell — the owner may
+        :meth:`repush` it after it fires.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        cell = [time, seq, callback, owner, True]
+        heappush(self._heap, cell)
+        self._live += 1
+        return cell
+
+    # ---------------------------------------------------------- cancellation
+
+    def cancel_cell(self, cell: list) -> None:
+        """Cancel a scheduled cell; a no-op once it fired or was cancelled."""
+        if cell[4]:
+            cell[4] = False
+            cell[2] = None
+            self._live -= 1
+            self.cancellations += 1
+            dead = len(self._heap) - self._live
+            if dead > _COMPACT_MIN_DEAD and dead > self._live:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Pop order is fully determined by ``(time, seq)``, so rebuilding the
+        heap's internal layout cannot change event order.
+        """
+        self._heap = [cell for cell in self._heap if cell[2] is not None]
+        heapify(self._heap)
+        self.compactions += 1
+
+    # -------------------------------------------------------------- popping
+
     def pop(self) -> Event | None:
-        """Remove and return the earliest live event, or ``None`` if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Returns the same handle object :meth:`push` returned. Handle-less
+        cells (from :meth:`schedule`) get a wrapper created on demand.
+        """
+        heap = self._heap
+        while heap:
+            cell = heappop(heap)
+            if cell[2] is None:
+                continue
+            cell[4] = False
+            self._live -= 1
+            handle = cell[3]
+            if not isinstance(handle, Event):
+                handle = Event(cell, self)
+                cell[3] = handle
+            return handle
         return None
+
+    def pop_due(self, limit: float) -> list | None:
+        """Pop the earliest live cell with ``time <= limit`` (engine loop).
+
+        Returns the raw cell, or ``None`` when the next live event is past
+        ``limit`` (it stays queued) or the queue is empty.
+        """
+        heap = self._heap
+        while heap:
+            cell = heap[0]
+            if cell[2] is None:
+                heappop(heap)
+                continue
+            if cell[0] > limit:
+                return None
+            heappop(heap)
+            cell[4] = False
+            self._live -= 1
+            return cell
+        return None
+
+    def recycle(self, cell: list) -> None:
+        """Return a fired, handle-less cell to the free list."""
+        free = self._free
+        if len(free) < _FREE_LIST_MAX:
+            cell[2] = None  # drop the callback reference promptly
+            free.append(cell)
 
     def peek_time(self) -> float | None:
         """Time of the earliest live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heappop(heap)
+        return heap[0][0] if heap else None

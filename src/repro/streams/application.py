@@ -95,6 +95,10 @@ class SourcePE(_EmittingPE):
         self.host = host
         host.place(self)
         self.finished = False
+        # One tuple is in production at a time: park it on self and
+        # schedule a prebound callback instead of a closure per tuple.
+        self._producing: StreamTuple | None = None
+        self._emit_cb = self._emit
 
     def start(self, at: float = 0.0) -> None:
         """Begin producing at simulated time ``at``."""
@@ -106,11 +110,14 @@ class SourcePE(_EmittingPE):
             self.finished = True
             return
         cost = max(self.source.production_cost(tup.seq), 1e-9)
-        self.sim.call_after(
-            cost / self.host.per_pe_speed(), lambda: self._emit(tup)
+        self._producing = tup
+        self.sim.schedule_after(
+            cost / self.host.per_pe_speed(), self._emit_cb
         )
 
-    def _emit(self, tup: StreamTuple) -> None:
+    def _emit(self) -> None:
+        tup = self._producing
+        self._producing = None
         if self._begin_emit(tup):
             self._produce()
 
@@ -144,6 +151,10 @@ class OperatorPE(_EmittingPE):
         self._load_multiplier = 1.0
         self.processed = 0
         self.dropped = 0
+        # One tuple in service at a time (_busy guards): park it on self
+        # and schedule one prebound callback instead of a closure per tuple.
+        self._in_service: StreamTuple | None = None
+        self._finish_cb = self._finish
 
     def set_load_multiplier(self, multiplier: float) -> None:
         """External load on this PE (paper's simulated load)."""
@@ -179,9 +190,12 @@ class OperatorPE(_EmittingPE):
         self._busy = True
         cost = self.operator.cost_multiplies * self._load_multiplier
         duration = max(cost, 1e-9) / self.host.per_pe_speed()
-        self.sim.call_after(duration, lambda: self._finish(tup))
+        self._in_service = tup
+        self.sim.schedule_after(duration, self._finish_cb)
 
-    def _finish(self, tup: StreamTuple) -> None:
+    def _finish(self) -> None:
+        tup = self._in_service
+        self._in_service = None
         self._busy = False
         self.processed += 1
         if self.unwrap:
@@ -222,6 +236,8 @@ class SinkPE:
         self._busy = False
         self._next_input = 0
         self.last_consume_time: float | None = None
+        self._in_service: StreamTuple | None = None
+        self._finish_cb = self._finish
 
     def add_input(self, conn: SimulatedConnection) -> None:
         """Attach an upstream stream; deliveries wake this sink."""
@@ -245,9 +261,12 @@ class SinkPE:
     def _start(self, tup: StreamTuple) -> None:
         self._busy = True
         duration = max(self.sink.cost_multiplies, 1e-9) / self.host.per_pe_speed()
-        self.sim.call_after(duration, lambda: self._finish(tup))
+        self._in_service = tup
+        self.sim.schedule_after(duration, self._finish_cb)
 
-    def _finish(self, tup: StreamTuple) -> None:
+    def _finish(self) -> None:
+        tup = self._in_service
+        self._in_service = None
         self._busy = False
         self.sink.apply(tup)
         self.last_consume_time = self.sim.now
@@ -283,6 +302,8 @@ class SplitterPE(_EmittingPE):
         self._pending: StreamTuple | None = None
         self._target: int | None = None
         self._block_start: float | None = None
+        self._routing: StreamTuple | None = None
+        self._route_cb = self._route
 
     def attach(self, conn: SimulatedConnection) -> None:
         """Attach the region's single upstream stream."""
@@ -301,9 +322,12 @@ class SplitterPE(_EmittingPE):
         self._busy = True  # claim before take(); see OperatorPE
         tup = self.input.take()
         duration = max(self.send_cost_multiplies, 1e-9) / self.host.per_pe_speed()
-        self.sim.call_after(duration, lambda: self._route(tup))
+        self._routing = tup
+        self.sim.schedule_after(duration, self._route_cb)
 
-    def _route(self, tup: StreamTuple) -> None:
+    def _route(self) -> None:
+        tup = self._routing
+        self._routing = None
         self._busy = False
         assert self.policy is not None
         wrapped = StreamTuple(

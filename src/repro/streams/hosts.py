@@ -52,6 +52,7 @@ class Host:
         self.thread_speed = float(thread_speed)
         self.smt_efficiency = float(smt_efficiency)
         self._pes: list["WorkerPE"] = []
+        self._per_pe_speed: float | None = None
 
     @property
     def threads(self) -> int:
@@ -66,6 +67,7 @@ class Host:
     def place(self, pe: "WorkerPE") -> None:
         """Register a PE as running on this host."""
         self._pes.append(pe)
+        self._per_pe_speed = None
 
     def total_capacity(self, n_active: int | None = None) -> float:
         """Aggregate processing capacity, in multiplies per second.
@@ -88,11 +90,19 @@ class Host:
         Capacity is split evenly: with the paper's saturating workload all
         placed PEs are runnable essentially all the time, so the fair-share
         approximation is accurate and keeps the simulator deterministic.
+
+        Cached between placements — every tuple's service time divides by
+        this value, so recomputing it per tuple showed up in profiles.
         """
-        n = self.placed
+        speed = self._per_pe_speed
+        if speed is not None:
+            return speed
+        n = len(self._pes)
         if n == 0:
             raise RuntimeError(f"host {self.name!r} has no PEs placed")
-        return self.total_capacity(n) / n
+        speed = self.total_capacity(n) / n
+        self._per_pe_speed = speed
+        return speed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

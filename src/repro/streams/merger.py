@@ -76,27 +76,30 @@ class OrderedMerger:
 
     def accept(self, worker_id: int, tup: StreamTuple) -> None:
         """Receive a processed tuple from worker ``worker_id``."""
-        if tup.seq < self._next_seq or tup.seq in self._pending:
+        pending = self._pending
+        seq = tup.seq
+        if seq < self._next_seq or seq in pending:
             raise SequenceError(
-                f"tuple seq {tup.seq} already merged or pending "
+                f"tuple seq {seq} already merged or pending "
                 f"(next expected: {self._next_seq})"
             )
-        self.received_per_worker[worker_id] = (
-            self.received_per_worker.get(worker_id, 0) + 1
-        )
-        self._pending[tup.seq] = tup
-        if len(self._pending) > self.max_pending:
-            self.max_pending = len(self._pending)
-        while self._next_seq in self._pending:
-            ready = self._pending.pop(self._next_seq)
+        received = self.received_per_worker
+        received[worker_id] = received.get(worker_id, 0) + 1
+        pending[seq] = tup
+        occupancy = len(pending)
+        if occupancy > self.max_pending:
+            self.max_pending = occupancy
+        while self._next_seq in pending:
+            ready = pending.pop(self._next_seq)
             self._next_seq += 1
             self._emit(ready)
 
     def _emit(self, tup: StreamTuple) -> None:
         self.emitted += 1
-        self.last_emit_time = self.sim.now
+        now = self.sim.now
+        self.last_emit_time = now
         if tup.born_at is not None:
-            self.latency_seconds += self.sim.now - tup.born_at
+            self.latency_seconds += now - tup.born_at
             self.latency_count += 1
         if self.on_emit is not None:
             self.on_emit(tup)

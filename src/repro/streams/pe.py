@@ -59,6 +59,11 @@ class WorkerPE:
         self.service_jitter = float(service_jitter)
         self._rng = random.Random((seed << 16) ^ (pe_id * 2_654_435_761))
         self._busy = False
+        # One tuple is in service at a time (_busy guards), so the PE can
+        # park it on self and schedule one prebound callback instead of a
+        # fresh closure per tuple.
+        self._in_service: StreamTuple | None = None
+        self._complete_cb = self._complete
         #: Tuples fully processed by this PE.
         self.tuples_processed = 0
         #: Seconds this PE has spent servicing tuples.
@@ -104,9 +109,12 @@ class WorkerPE:
         tup = self.connection.take()
         duration = self.service_time(tup)
         self.busy_seconds += duration
-        self.sim.call_after(duration, lambda: self._complete(tup))
+        self._in_service = tup
+        self.sim.schedule_after(duration, self._complete_cb)
 
-    def _complete(self, tup: StreamTuple) -> None:
+    def _complete(self) -> None:
+        tup = self._in_service
+        self._in_service = None
         self.tuples_processed += 1
         self.merger.accept(self.pe_id, tup)
         if self.connection.recv_available() > 0:

@@ -38,6 +38,10 @@ class RegionParams:
     send_capacity: int = 32
     recv_capacity: int = 32
     wire_delay: float = 0.0
+    #: Coalesce same-pump in-flight transfers into one arrival event (see
+    #: :class:`~repro.net.connection.SimulatedConnection`); semantics are
+    #: identical either way, batching just schedules fewer events.
+    batch_transfers: bool = True
     send_overhead: float = 1e-5
     #: Relative service-time noise per worker (0 = deterministic; see
     #: :class:`~repro.streams.pe.WorkerPE`). Seeded by ``seed``.
@@ -91,6 +95,7 @@ class ParallelRegion:
                 send_capacity=self.params.send_capacity,
                 recv_capacity=self.params.recv_capacity,
                 wire_delay=self.params.wire_delay,
+                batch_transfers=self.params.batch_transfers,
             )
             for i in range(n_workers)
         ]

@@ -79,6 +79,9 @@ class Splitter:
         self._target: int | None = None
         self._block_start: float | None = None
         self._started = False
+        # Prebound once: _try_send is scheduled per tuple, and rebinding
+        # the method per send is measurable on the hot path.
+        self._try_send_cb = self._try_send
 
     @property
     def tuples_sent(self) -> int:
@@ -144,4 +147,4 @@ class Splitter:
         self.sent_per_connection[connection] += 1
         self._pending = None
         self._target = None
-        self.sim.call_after(self.send_overhead, self._try_send)
+        self.sim.schedule_after(self.send_overhead, self._try_send_cb)

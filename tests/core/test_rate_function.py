@@ -148,3 +148,78 @@ class TestPooled:
         a = fn_with([(100, 1.0)])
         BlockingRateFunction.pooled([a, fn_with([(100, 3.0)])])
         assert a.raw_value(100) == 1.0
+
+    def test_pooled_copies_tunables_from_first_member(self):
+        a = fn_with([(100, 1.0)], smoothing_alpha=0.25, max_count=7)
+        b = fn_with([(200, 2.0)], smoothing_alpha=0.9, max_count=99)
+        pooled = BlockingRateFunction.pooled([a, b])
+        assert pooled.smoothing_alpha == 0.25
+        assert pooled.max_count == 7
+
+    def test_pooling_two_functions_is_order_independent(self):
+        a = fn_with([(100, 1.0), (100, 0.5), (300, 2.0)])
+        b = fn_with([(100, 4.0), (200, 1.5)])
+        ab = BlockingRateFunction.pooled([a, b])
+        ba = BlockingRateFunction.pooled([b, a])
+        assert ab.observed_weights() == ba.observed_weights()
+        for w in ab.observed_weights():
+            assert ab.raw_value(w) == ba.raw_value(w)
+        assert ab.values() == ba.values()
+
+
+class TestTableCache:
+    def test_table_matches_pointwise_values(self):
+        fn = fn_with([(100, 0.5), (400, 2.0), (700, 2.5)])
+        table = fn.table()
+        assert len(table) == 1001
+        assert table == [fn.value(w) for w in range(1001)]
+
+    def test_table_is_cached_between_reads(self):
+        fn = fn_with([(100, 0.5)])
+        assert fn.table() is fn.table()
+
+    def test_values_returns_a_copy(self):
+        fn = fn_with([(100, 0.5)])
+        values = fn.values()
+        values[0] = 123.0
+        assert fn.table()[0] == 0.0
+
+    def test_observe_invalidates_table(self):
+        fn = fn_with([(100, 0.5)])
+        before = fn.table()
+        fn.observe(200, 3.0)
+        after = fn.table()
+        assert after is not before
+        assert after[200] == pytest.approx(3.0)
+
+    def test_decay_above_invalidates_table(self):
+        fn = fn_with([(100, 0.5), (400, 2.0)])
+        before = fn.table()
+        fn.decay_above(100, 0.1)
+        after = fn.table()
+        assert after is not before
+        assert after[400] == pytest.approx(1.8)
+
+    def test_forget_invalidates_table(self):
+        fn = fn_with([(100, 0.5)])
+        fn.table()
+        fn.forget()
+        assert fn.table() == [0.0] * 1001
+
+    def test_knee_weight_reads_from_table(self):
+        fn = fn_with([(100, 0.0), (200, 1.0)])
+        # Knee via the table must agree with a linear scan of values().
+        values = fn.values()
+        expected = max(w for w, v in enumerate(values) if v <= 0.5)
+        assert fn.knee_weight(threshold=0.5) == expected
+
+    def test_solvers_accept_raw_tables(self):
+        from repro.core.rap import solve_minimax_fox
+
+        fns = [
+            fn_with([(100, 0.0), (900, 5.0)]),
+            fn_with([(100, 0.0), (900, 1.0)]),
+        ]
+        via_tables = solve_minimax_fox([fn.table() for fn in fns], 1000)
+        via_callables = solve_minimax_fox([fn.value for fn in fns], 1000)
+        assert via_tables == via_callables

@@ -104,3 +104,64 @@ class TestCallEvery:
     def test_non_positive_interval_rejected(self):
         with pytest.raises(SimulationError):
             Simulator().call_every(0.0, lambda: None)
+
+
+class TestPerfCounters:
+    def test_counters_track_engine_activity(self):
+        sim = Simulator()
+        sim.call_at(1.0, lambda: None)
+        sim.call_at(2.0, lambda: None).cancel()
+        sim.schedule_at(3.0, lambda: None)
+        sim.call_at(9.0, lambda: None)
+        sim.run_until(5.0)
+        perf = sim.perf
+        assert perf.events_processed == 2
+        assert perf.events_scheduled == 4
+        assert perf.events_cancelled == 1
+        assert perf.live_events == 1
+        assert sim.events_processed == 2
+
+    def test_events_per_second(self):
+        sim = Simulator()
+        for t in (1.0, 2.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run_until(3.0)
+        assert sim.perf.events_per_second(0.5) == 4.0
+        with pytest.raises(ValueError):
+            sim.perf.events_per_second(0.0)
+
+    def test_as_dict_round_trip(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run_until(2.0)
+        d = sim.perf.as_dict()
+        assert d["events_processed"] == 1
+        assert d["events_scheduled"] == 1
+
+
+class TestTracing:
+    def test_identical_runs_produce_identical_digests(self):
+        def build_and_run():
+            sim = Simulator()
+            sim.enable_tracing()
+            sim.call_every(0.5, lambda: None)
+            sim.schedule_at(1.25, lambda: sim.schedule_after(0.5, lambda: None))
+            sim.run_until(10.0)
+            return sim.trace_digest()
+
+        assert build_and_run() == build_and_run()
+
+    def test_different_orders_produce_different_digests(self):
+        def run_one(first, second):
+            sim = Simulator()
+            sim.enable_tracing()
+            sim.schedule_at(first, lambda: None)
+            sim.schedule_at(second, lambda: None)
+            sim.run_until(10.0)
+            return sim.trace_digest()
+
+        assert run_one(1.0, 2.0) != run_one(2.0, 1.0)
+
+    def test_digest_requires_tracing_enabled(self):
+        with pytest.raises(SimulationError):
+            Simulator().trace_digest()

@@ -43,3 +43,99 @@ class TestCancellation:
         queue = EventQueue()
         assert queue.pop() is None
         assert queue.peek_time() is None
+
+    def test_double_cancel_is_a_noop(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.cancellations == 1
+
+    def test_cancel_after_fire_is_a_noop(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is event
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.cancellations == 0
+
+
+class TestLiveCount:
+    def test_len_counts_only_live_events(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(5)]
+        assert len(queue) == 5
+        events[1].cancel()
+        events[3].cancel()
+        # Cancelled entries are still physically in the heap (lazy
+        # deletion) but must not be counted.
+        assert len(queue) == 3
+
+    def test_len_decreases_on_pop(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.pop()
+        assert len(queue) == 1
+
+    def test_scheduled_total_counts_everything(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None).cancel()
+        queue.schedule(2.0, lambda: None)
+        queue.pop()
+        assert queue.scheduled_total == 2
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        queue = EventQueue()
+        doomed = [queue.push(float(i), lambda: None) for i in range(200)]
+        survivor = queue.push(1000.0, lambda: None)
+        for event in doomed:
+            event.cancel()
+        assert queue.compactions >= 1
+        assert len(queue) == 1
+        assert queue.pop() is survivor
+
+    def test_order_preserved_across_compaction(self):
+        queue = EventQueue()
+        doomed = [queue.push(float(i), lambda: None) for i in range(150)]
+        fired = []
+        for tag, t in (("a", 5.5), ("b", 2.5), ("c", 8.5)):
+            queue.push(t, lambda t=tag: fired.append(t))
+        for event in doomed:
+            event.cancel()
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["b", "a", "c"]
+
+
+class TestScheduleFastPath:
+    def test_schedule_interleaves_with_push_fifo(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("push"))
+        queue.schedule(1.0, lambda: fired.append("schedule"))
+        queue.push(1.0, lambda: fired.append("push2"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["push", "schedule", "push2"]
+
+    def test_recycled_cells_are_reused(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        cell = queue.pop_due(2.0)
+        queue.recycle(cell)
+        queue.schedule(3.0, lambda: None)
+        assert queue.pop_due(4.0) is cell
+
+    def test_pop_due_respects_limit(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(5.0, lambda: None)
+        assert queue.pop_due(2.0) is not None
+        assert queue.pop_due(2.0) is None
+        assert len(queue) == 1
