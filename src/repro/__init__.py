@@ -50,9 +50,16 @@ from repro.experiments import (
     HostSpec,
     PlacementPlan,
     RunResult,
+    fault_recovery_scenario,
     oracle_schedule,
     plan_placement,
     run_experiment,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    RecoveryConfig,
+    RecoveryCoordinator,
 )
 from repro.sim import Simulator
 from repro.sim.fluid import FluidRegion
@@ -100,9 +107,14 @@ __all__ = [
     "HostSpec",
     "PlacementPlan",
     "RunResult",
+    "fault_recovery_scenario",
     "oracle_schedule",
     "plan_placement",
     "run_experiment",
+    "FaultInjector",
+    "FaultSchedule",
+    "RecoveryConfig",
+    "RecoveryCoordinator",
     "Simulator",
     "FluidRegion",
     "Application",

@@ -16,6 +16,15 @@ Each control round the :class:`LoadBalancer`:
 The controller is transport-agnostic: it sees only counter values and
 emits only weight vectors, so it runs unchanged against the event
 simulator, the fluid model, and the real-socket transport.
+
+Failure recovery: the recovery layer can :meth:`~LoadBalancer.quarantine`
+a dead channel — its allocation weight is pinned to zero and the RAP is
+re-solved immediately over the survivors (an emergency reallocation, so
+the per-round incremental movement bounds do not apply) — and later
+:meth:`~LoadBalancer.reintegrate` it, with the channel's blocking rate
+function decayed (or forgotten) so exploration re-learns its capacity.
+Regular control rounds keep quarantined channels clamped at zero through
+the weight constraints.
 """
 
 from __future__ import annotations
@@ -161,11 +170,80 @@ class LoadBalancer:
         self.last_clusters: list[list[int]] = [[j] for j in range(n_connections)]
         #: Control rounds executed (excludes the priming sample).
         self.rounds = 0
+        #: Channels currently quarantined (weight pinned to zero).
+        self._quarantined: set[int] = set()
 
     @property
     def weights(self) -> list[int]:
         """Current allocation weights (copy), summing to the resolution."""
         return list(self._weights)
+
+    @property
+    def quarantined(self) -> set[int]:
+        """Channels currently quarantined (copy)."""
+        return set(self._quarantined)
+
+    # ------------------------------------------------------------- recovery
+
+    def quarantine(self, channel: int) -> list[int]:
+        """Pin ``channel``'s weight to zero and re-solve over survivors.
+
+        This is the emergency path the recovery layer takes when a channel
+        is declared dead: unlike a regular control round, the incremental
+        movement bounds and the hysteresis gate are bypassed — the dead
+        channel's traffic must move *now*, however far the weights jump.
+        Returns the new weights.
+
+        Quarantining the *last* live channel raises (there is no survivor
+        allocation to solve for) — but the channel is still recorded as
+        quarantined, so :meth:`reintegrate` works once it recovers.
+        """
+        if not 0 <= channel < self.n_connections:
+            raise ValueError(f"no such channel: {channel}")
+        self._quarantined.add(channel)
+        survivors = self.n_connections - len(self._quarantined)
+        if survivors <= 0:
+            raise RuntimeError(
+                "every channel is quarantined; the region has no capacity"
+            )
+        constraints = WeightConstraints(
+            minima=(0,) * self.n_connections,
+            maxima=tuple(
+                0 if j in self._quarantined else self.config.resolution
+                for j in range(self.n_connections)
+            ),
+        )
+        solver = _SOLVERS[self.config.solver]
+        evaluators = [fn.table() for fn in self.functions]
+        self._weights = solver(evaluators, self.config.resolution, constraints)
+        return self.weights
+
+    def reintegrate(
+        self,
+        channel: int,
+        *,
+        decay: float = 0.5,
+        forget: bool = False,
+    ) -> None:
+        """Lift ``channel``'s quarantine so regular rounds re-admit it.
+
+        The channel's blocking rate function is decayed by ``decay`` (or
+        dropped entirely with ``forget=True``): its pre-failure data is
+        stale, and shrinking the predicted blocking induces the minimax
+        optimizer to re-explore the channel. Weight returns gradually —
+        reintegration itself moves nothing; the next control rounds ramp
+        the channel up under the usual incremental bounds, a slow-start
+        that protects the region if the channel is still shaky.
+        """
+        if not 0 <= channel < self.n_connections:
+            raise ValueError(f"no such channel: {channel}")
+        if channel not in self._quarantined:
+            return
+        self._quarantined.discard(channel)
+        if forget:
+            self.functions[channel].forget()
+        else:
+            self.functions[channel].decay_all(decay)
 
     def update(self, now: float, counters: Sequence[float]) -> list[int] | None:
         """One control round; returns the new weights (``None`` on priming).
@@ -184,10 +262,23 @@ class LoadBalancer:
         # re-observation when the leader rotates correct such cells, and
         # zeros below a connection's true service knee are genuine
         # capacity evidence the optimizer needs.
+        quarantined = self._quarantined
+        if len(quarantined) >= self.n_connections:
+            # Every channel is quarantined: no survivor allocation exists
+            # to solve for. Keep the last weights until a reintegration.
+            self.rounds += 1
+            return None
         for j, rate in enumerate(rates):
+            if j in quarantined:
+                # A quarantined channel receives no tuples: its measured
+                # rate carries no information, and its function is frozen
+                # until reintegration decays it deliberately.
+                continue
             self.functions[j].observe(self._weights[j], rate)
         if self.config.decay > 0.0:
             for j in range(self.n_connections):
+                if j in quarantined:
+                    continue
                 self.functions[j].decay_above(self._weights[j], self.config.decay)
         candidate = self._solve()
         if self._accept(candidate):
@@ -222,13 +313,23 @@ class LoadBalancer:
     # ------------------------------------------------------------- solving
 
     def _member_constraints(self) -> WeightConstraints:
-        return WeightConstraints.incremental(
+        constraints = WeightConstraints.incremental(
             self._weights,
             self.config.resolution,
             max_decrease=self.config.max_decrease,
             max_increase=self.config.max_increase,
             floor=self.config.weight_floor,
         )
+        if self._quarantined:
+            minima = list(constraints.minima)
+            maxima = list(constraints.maxima)
+            for j in self._quarantined:
+                minima[j] = 0
+                maxima[j] = 0
+            constraints = WeightConstraints(
+                minima=tuple(minima), maxima=tuple(maxima)
+            )
+        return constraints
 
     def _solve(self) -> list[int]:
         if self.config.clustering and self.n_connections > 1:

@@ -140,6 +140,31 @@ class BlockingRateFunction:
         self._raw = {0: _RawCell(0.0, 1)}
         self._invalidate()
 
+    def decay_all(self, fraction: float) -> None:
+        """Decay every raw point by ``fraction`` (recovery reintegration).
+
+        When a quarantined channel rejoins the region its old blocking
+        data is stale — the failure may have been a transient overload, a
+        restart on different hardware, or a recovered network path. Unlike
+        :meth:`decay_above` (which only erodes pessimism beyond the
+        current weight), this shrinks the whole function toward zero so
+        the minimax optimizer is induced to re-explore the channel, while
+        ``fraction < 1`` keeps a prior that damps the initial allocation
+        swing. ``fraction=1.0`` is equivalent to :meth:`forget` except
+        that observation counts are retained.
+        """
+        check_fraction("fraction", fraction)
+        if fraction == 0.0:
+            return
+        decayed = False
+        keep = 1.0 - fraction
+        for w, cell in self._raw.items():
+            if w > 0 and cell.value > 0.0:
+                cell.value *= keep
+                decayed = True
+        if decayed:
+            self._invalidate()
+
     @classmethod
     def pooled(
         cls, members: "list[BlockingRateFunction]"

@@ -9,7 +9,11 @@ plots; :mod:`repro.experiments.sweep` runs the vary-the-PEs grids.
 """
 
 from repro.experiments import figures
-from repro.experiments.config import ExperimentConfig, HostSpec
+from repro.experiments.config import (
+    ExperimentConfig,
+    HostSpec,
+    fault_recovery_scenario,
+)
 from repro.experiments.oracle import oracle_schedule, proportional_weights
 from repro.experiments.placement_opt import PlacementPlan, plan_placement
 from repro.experiments.results import SweepRow, format_sweep_table, normalize_to
@@ -20,6 +24,7 @@ __all__ = [
     "figures",
     "ExperimentConfig",
     "HostSpec",
+    "fault_recovery_scenario",
     "oracle_schedule",
     "proportional_weights",
     "PlacementPlan",

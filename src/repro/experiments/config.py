@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.balancer import BalancerConfig
+from repro.faults.recovery import RecoveryConfig
+from repro.faults.schedule import FaultSchedule
 from repro.streams.hosts import Host, Placement
 from repro.streams.region import RegionParams
 from repro.util.validation import check_positive
@@ -108,6 +110,12 @@ class ExperimentConfig:
     #: Enforce sequential semantics at the merger (the paper's default).
     #: ``False`` models parallel sinks / unordered production regions.
     ordered: bool = True
+    #: Faults to inject during the run (none by default). A non-empty
+    #: schedule forces ``region.fault_tolerant`` on and attaches the
+    #: recovery layer (liveness monitor, quarantine, replay/skip).
+    fault_schedule: FaultSchedule = field(default_factory=FaultSchedule.none)
+    #: Detection/reintegration tunables, used when faults are scheduled.
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
     def __post_init__(self) -> None:
         check_positive("n_workers", self.n_workers)
@@ -136,6 +144,9 @@ class ExperimentConfig:
         if self.total_tuples is None and self.duration is None:
             raise ValueError("set total_tuples and/or duration")
         check_positive("sample_interval", self.sample_interval)
+        self.fault_schedule.validate(self.n_workers)
+        if not self.fault_schedule.empty() and not self.region.fault_tolerant:
+            self.region.fault_tolerant = True
         if self.splitter_cost_multiplies is not None:
             check_positive(
                 "splitter_cost_multiplies", self.splitter_cost_multiplies
@@ -181,3 +192,42 @@ class ExperimentConfig:
     def with_name(self, name: str) -> "ExperimentConfig":
         """Copy with a different name (sweeps reuse one template)."""
         return replace(self, name=name)
+
+
+def fault_recovery_scenario(
+    *,
+    n_workers: int = 4,
+    crash_worker: int = 1,
+    crash_at: float = 15.0,
+    restart_after: float | None = 30.0,
+    duration: float = 120.0,
+    gap_policy: str = "replay",
+) -> ExperimentConfig:
+    """The canonical fault experiment: one PE crashes mid-run.
+
+    A homogeneous region runs under moderate saturation; ``crash_worker``
+    dies at ``crash_at`` and (by default) its process returns
+    ``restart_after`` seconds later. The recovery layer quarantines the
+    channel, replays its unacknowledged tuples to survivors (or skips them
+    under ``gap_policy="skip"``), re-solves the allocation over survivors,
+    and reintegrates the channel after the restart. The run's
+    :class:`~repro.experiments.runner.RunResult` carries the recovery
+    metrics: time-to-quarantine, time-to-reconverge, tuples replayed/lost.
+    """
+    speed = 2e5  # 0.05 s services, well under the 1 s sampling interval
+    return ExperimentConfig(
+        name=f"fault-recovery-{gap_policy}",
+        n_workers=n_workers,
+        tuple_cost=10_000,
+        host_specs=[HostSpec("slow", thread_speed=speed)],
+        worker_host=[0] * n_workers,
+        duration=duration,
+        # sigma ~= 1.25x the unloaded region's aggregate service rate:
+        # saturated enough that blocking rates are informative, with slack
+        # for survivors to absorb a failed channel's share.
+        splitter_cost_multiplies=speed / (1.25 * n_workers * 20.0),
+        fault_schedule=FaultSchedule.crash(
+            crash_worker, at=crash_at, restart_after=restart_after
+        ),
+        recovery=RecoveryConfig(gap_policy=gap_policy),
+    )

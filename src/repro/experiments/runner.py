@@ -35,6 +35,8 @@ from repro.experiments.oracle import (
     proportional_weights,
     worker_capacities,
 )
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RecoveryCoordinator
 from repro.sim.engine import Simulator
 from repro.streams.region import ParallelRegion
 from repro.streams.sources import FiniteSource, InfiniteSource, constant_cost
@@ -77,6 +79,16 @@ class RunResult:
     block_events: int
     #: Final allocation weights.
     final_weights: list[int] = field(default_factory=list)
+    #: Failover episodes the recovery layer opened (0 without faults).
+    quarantines: int = 0
+    #: Fault-to-failover latency of the first episode (None without one).
+    time_to_quarantine: float | None = None
+    #: Failover-to-stable-weights latency of the first settled episode.
+    time_to_reconverge: float | None = None
+    #: Unacknowledged tuples resent to survivors at failovers.
+    tuples_replayed: int = 0
+    #: Sequence numbers skipped over instead of replayed (skip gap policy).
+    tuples_lost: int = 0
     #: Simulator events fired during the run (performance diagnostic).
     events_processed: int = 0
     #: Wall-clock seconds the run took (performance diagnostic; excluded
@@ -130,6 +142,22 @@ class RunResult:
         )
         if self.final_weights:
             lines.append(f"  final_weights={self.final_weights}")
+        if self.quarantines:
+            ttq = (
+                f"{self.time_to_quarantine:.2f}s"
+                if self.time_to_quarantine is not None
+                else "n/a"
+            )
+            ttr = (
+                f"{self.time_to_reconverge:.2f}s"
+                if self.time_to_reconverge is not None
+                else "n/a"
+            )
+            lines.append(
+                f"  quarantines={self.quarantines} "
+                f"(detect={ttq}, reconverge={ttr}), "
+                f"replayed={self.tuples_replayed}, lost={self.tuples_lost}"
+            )
         return "\n".join(lines)
 
 
@@ -192,6 +220,23 @@ def run_experiment(
     )
     config.load_schedule.arm(sim, region.workers)
 
+    # Fault injection + recovery: only built when faults are scheduled, so
+    # fault-free runs execute exactly the seed's code path (golden traces).
+    injector: FaultInjector | None = None
+    recovery: RecoveryCoordinator | None = None
+    if not config.fault_schedule.empty():
+        injector = FaultInjector(sim, region)
+        recovery = RecoveryCoordinator(
+            sim,
+            region,
+            balancer=balancer,
+            routing=routing if balancer is not None else None,
+            injector=injector,
+            config=config.recovery,
+        )
+        recovery.start()
+        config.fault_schedule.arm(sim, injector)
+
     if oracle is not None:
         for when, weights in oracle.changes_after(0.0):
             sim.call_at(
@@ -203,6 +248,7 @@ def run_experiment(
     # capacity-proportional weights at the same trigger — exactly the
     # paper's "it will change the allocation weights earlier than is
     # optimal" behaviour, since queued backlog still reflects the old load.
+    progress_hooks: list = []
     count_events = sorted(
         config.load_schedule.count_events, key=lambda e: e.emitted
     )
@@ -226,10 +272,34 @@ def run_experiment(
                 oracle.set_weights(
                     proportional_weights(capacities, resolution)
                 )
-            if not pending:
-                region.merger.on_emit = None
 
-        region.merger.on_emit = on_progress
+        progress_hooks.append(on_progress)
+
+    # Progress-triggered crashes (the fault analogue of the count-based
+    # load removals: "crash worker 2 an eighth of the way through").
+    if injector is not None and config.fault_schedule.count_crashes:
+        pending_crashes = sorted(
+            config.fault_schedule.count_crashes, key=lambda e: e.emitted
+        )
+
+        def on_fault_progress(_tup) -> None:
+            while (
+                pending_crashes
+                and region.merger.emitted >= pending_crashes[0].emitted
+            ):
+                event = pending_crashes.pop(0)
+                injector.crash(event.worker, restart_after=event.restart_after)
+
+        progress_hooks.append(on_fault_progress)
+
+    if len(progress_hooks) == 1:
+        region.merger.on_emit = progress_hooks[0]
+    elif progress_hooks:
+        def dispatch_progress(tup) -> None:
+            for hook in progress_hooks:
+                hook(tup)
+
+        region.merger.on_emit = dispatch_progress
 
     # Recording infrastructure. Every policy gets a blocking-rate view so
     # in-depth figures can be drawn for baselines too; LB policies reuse
@@ -333,6 +403,15 @@ def run_experiment(
         total_sent=region.splitter.tuples_sent,
         block_events=region.splitter.block_events,
         final_weights=current_weights(),
+        quarantines=recovery.quarantines if recovery is not None else 0,
+        time_to_quarantine=(
+            recovery.first_time_to_quarantine() if recovery is not None else None
+        ),
+        time_to_reconverge=(
+            recovery.first_time_to_reconverge() if recovery is not None else None
+        ),
+        tuples_replayed=region.splitter.tuples_replayed,
+        tuples_lost=region.merger.tuples_lost,
         events_processed=sim.events_processed,
         wall_seconds=wall_seconds,
     )

@@ -1,0 +1,45 @@
+"""Fault injection and failure recovery for the parallel region.
+
+The paper assumes workers slow down but never die: the splitter blocks
+forever on a stalled connection and the ordered merger deadlocks on any
+lost sequence number. This package supplies what a production region
+needs to survive exactly that:
+
+* :mod:`repro.faults.schedule` — a :class:`FaultSchedule` (modeled on
+  :class:`~repro.workloads.external_load.LoadSchedule`) arming timed and
+  progress-triggered faults: PE crashes, delayed restarts, connection
+  stalls/flaps, and host-wide slowdown bursts;
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` that applies
+  those faults to a live region and keeps the fault log;
+* :mod:`repro.faults.recovery` — the :class:`RecoveryCoordinator`: a
+  liveness monitor (progress staleness + saturated blocking) that fails
+  dead channels over, quarantines them in the balancer, replays or skips
+  their in-flight tuples, and reintegrates them on recovery.
+"""
+
+from repro.faults.injector import FaultInjector, FaultRecord
+from repro.faults.recovery import (
+    ChannelRecovery,
+    RecoveryConfig,
+    RecoveryCoordinator,
+)
+from repro.faults.schedule import (
+    CountCrashEvent,
+    CrashEvent,
+    FaultSchedule,
+    SlowdownEvent,
+    StallEvent,
+)
+
+__all__ = [
+    "ChannelRecovery",
+    "CountCrashEvent",
+    "CrashEvent",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSchedule",
+    "RecoveryConfig",
+    "RecoveryCoordinator",
+    "SlowdownEvent",
+    "StallEvent",
+]

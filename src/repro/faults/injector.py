@@ -1,0 +1,166 @@
+"""The fault injector: applies scheduled faults to a live region.
+
+Each public method models one physical failure as the rest of the region
+would experience it:
+
+* :meth:`FaultInjector.crash` — the PE process dies. The tuple in service
+  is revoked and *redelivered* to the head of its receive queue (it was
+  never acknowledged; if the channel is later failed over the replay path
+  sweeps it up instead), and the connection stalls exactly the way a dead
+  peer's TCP connection does: the splitter keeps landing tuples in the
+  send buffer until it fills, then blocks.
+* :meth:`FaultInjector.restart` — the process is back. A restart that
+  beats the liveness monitor's detection resumes from the intact buffers
+  (nothing was lost); a restart of an already-failed-over channel brings
+  up a fresh transport and waits for the recovery layer to reintegrate.
+* :meth:`FaultInjector.stall` / :meth:`FaultInjector.unstall` — the
+  connection wedges / recovers (a flap); the worker process is fine.
+* :meth:`FaultInjector.slowdown` / :meth:`FaultInjector.end_slowdown` —
+  a host-wide burst multiplying every resident PE's per-tuple cost.
+
+Every action is appended to :attr:`FaultInjector.log`, which the recovery
+metrics use to anchor detection latency (time-to-quarantine is measured
+from the *fault*, not from the detection round that noticed it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.streams.region import ParallelRegion
+
+
+@dataclass(slots=True, frozen=True)
+class FaultRecord:
+    """One fault-related action, as it happened."""
+
+    time: float
+    kind: str
+    channel: int | None = None
+    detail: str = ""
+
+
+class FaultInjector:
+    """Applies faults to a :class:`~repro.streams.region.ParallelRegion`."""
+
+    def __init__(self, sim: "Simulator", region: "ParallelRegion") -> None:
+        if not region.params.fault_tolerant:
+            raise ValueError(
+                "fault injection requires RegionParams(fault_tolerant=True)"
+            )
+        self.sim = sim
+        self.region = region
+        #: Chronological record of every injected fault and recovery step.
+        self.log: list[FaultRecord] = []
+        #: Crash / restart / stall counts (diagnostics).
+        self.crashes = 0
+        self.restarts = 0
+        self.stalls = 0
+
+    @property
+    def n_channels(self) -> int:
+        """Width of the region under fault."""
+        return self.region.n_workers
+
+    # --------------------------------------------------------------- faults
+
+    def crash(
+        self, worker: int, *, restart_after: float | None = None
+    ) -> None:
+        """Kill PE ``worker`` now; optionally restart it after a delay."""
+        pe = self.region.workers[worker]
+        if not pe.alive:
+            return
+        revoked = pe.crash()
+        connection = self.region.connections[worker]
+        if revoked is not None:
+            # The half-processed tuple goes back where it came from: it is
+            # unacknowledged, so either the restarted PE re-services it or
+            # the failover replay sends it to a survivor — never both.
+            connection.requeue_front(revoked)
+        connection.stall()
+        self.crashes += 1
+        self._record("crash", worker)
+        if restart_after is not None:
+            self.sim.call_after(restart_after, lambda: self.restart(worker))
+
+    def restart(self, worker: int) -> None:
+        """Bring PE ``worker``'s process back up."""
+        pe = self.region.workers[worker]
+        if pe.alive:
+            return
+        connection = self.region.connections[worker]
+        if self.region.splitter.live[worker]:
+            # Restarted before the liveness monitor failed the channel
+            # over: the buffered tuples are intact, resume consuming them.
+            pe.restart()
+            connection.unstall()
+        else:
+            # Already failed over: fresh transport, empty buffers (the
+            # unacknowledged tuples were replayed). No traffic arrives —
+            # the channel is not live — until the recovery layer's
+            # heartbeat notices the PE is back and reintegrates it.
+            connection.reset()
+            pe.restart()
+        self.restarts += 1
+        self._record("restart", worker)
+
+    def stall(self, worker: int) -> None:
+        """Wedge ``worker``'s connection (the PE itself is fine)."""
+        self.region.connections[worker].stall()
+        self.stalls += 1
+        self._record("stall", worker)
+
+    def unstall(self, worker: int) -> None:
+        """Recover ``worker``'s connection from a stall."""
+        self.region.connections[worker].unstall()
+        self._record("unstall", worker)
+
+    def slowdown(self, host: str, multiplier: float) -> None:
+        """Scale every PE on ``host`` by ``multiplier`` (burst start)."""
+        check_positive("multiplier", multiplier)
+        for pe in self._host_workers(host):
+            pe.set_load_multiplier(pe.load_multiplier * multiplier)
+        self._record("slowdown", None, detail=f"{host} x{multiplier:g}")
+
+    def end_slowdown(self, host: str, multiplier: float) -> None:
+        """Undo a previous :meth:`slowdown` burst on ``host``."""
+        check_positive("multiplier", multiplier)
+        for pe in self._host_workers(host):
+            pe.set_load_multiplier(pe.load_multiplier / multiplier)
+        self._record("slowdown_end", None, detail=f"{host} /{multiplier:g}")
+
+    # ------------------------------------------------------------- internal
+
+    def _host_workers(self, host: str):
+        workers = [
+            pe for pe in self.region.workers if pe.host.name == host
+        ]
+        if not workers:
+            raise ValueError(f"no worker is placed on host {host!r}")
+        return workers
+
+    def _record(
+        self, kind: str, channel: int | None, detail: str = ""
+    ) -> None:
+        self.log.append(
+            FaultRecord(self.sim.now, kind, channel, detail)
+        )
+
+    def last_fault_time(self, channel: int, before: float) -> float | None:
+        """Time of the most recent crash/stall on ``channel`` at or before
+        ``before`` — the anchor for time-to-quarantine."""
+        latest: float | None = None
+        for record in self.log:
+            if (
+                record.channel == channel
+                and record.kind in ("crash", "stall")
+                and record.time <= before
+            ):
+                latest = record.time
+        return latest

@@ -90,6 +90,28 @@ class BoundedBuffer(Generic[T]):
         self._reserved -= 1
         self._items.append(item)
 
+    def push_front(self, item: T) -> None:
+        """Put ``item`` back at the head, bypassing the capacity check.
+
+        Redelivery path: a crashed worker's in-service tuple is returned
+        to the receive buffer it was taken from (the take never completed,
+        so logically the slot is still its own). The buffer may transiently
+        exceed capacity by one; flow control absorbs it on the next pump.
+        """
+        self._items.appendleft(item)
+
+    def clear(self) -> int:
+        """Drop every item and outstanding reservation; return items dropped.
+
+        Fault path: a failed connection's buffers die with it. Reservations
+        are forgotten too — the in-flight transfers they backed are
+        invalidated by the connection's generation bump.
+        """
+        dropped = len(self._items)
+        self._items.clear()
+        self._reserved = 0
+        return dropped
+
     def pop(self) -> T:
         """Remove and return the oldest item."""
         if not self._items:

@@ -17,6 +17,15 @@ The model mirrors what matters about TCP for the paper's argument:
 An optional per-tuple ``wire_delay`` models network latency. The default of
 zero matches the paper's InfiniBand cluster, where propagation is negligible
 next to buffer-induced queueing.
+
+Fault support (the fault-injection subsystem): a connection can be
+**stalled** (transport frozen — tuples pile up in the send buffer, exactly
+what a dead or wedged peer looks like to the sender), **failed** (both
+buffers dropped, as when the peer's kernel discards its socket state), and
+**reset** (buffers cleared and the transport revived for a restarted peer).
+A generation counter invalidates in-flight wire transfers across a
+fail/reset, so a delayed arrival from before the fault can never deliver
+into the revived connection.
 """
 
 from __future__ import annotations
@@ -64,6 +73,14 @@ class SimulatedConnection:
         self.on_deliver: Callable[[], None] | None = None
         self._send_space_waiter: Callable[[], None] | None = None
         self._pumping = False
+        #: Transport frozen (peer wedged/dead): no transfers move until
+        #: :meth:`unstall` or :meth:`reset`. Sends still fill the send
+        #: buffer — the sender only notices once it elects to block.
+        self.stalled = False
+        #: Bumped by :meth:`fail`/:meth:`reset`; in-flight wire transfers
+        #: carry the generation they started under and are dropped on
+        #: arrival if it no longer matches.
+        self._generation = 0
         #: Tuples accepted into the send buffer since construction.
         self.tuples_sent = 0
         #: Tuples that have landed in the receive buffer since construction.
@@ -115,6 +132,16 @@ class SimulatedConnection:
         self._pump()
         return item
 
+    def requeue_front(self, item: Any) -> None:
+        """Return a taken-but-unprocessed tuple to the head of the queue.
+
+        Crash redelivery: the worker died mid-service, so the tuple goes
+        back where it came from and is re-serviced on restart (or swept up
+        by :meth:`fail` and replayed if the channel is failed over
+        instead). Not counted in :attr:`tuples_delivered` again.
+        """
+        self._recv_buffer.push_front(item)
+
     # ------------------------------------------------------------ inspection
 
     def queued_tuples(self) -> int:
@@ -128,6 +155,62 @@ class SimulatedConnection:
             + self._recv_buffer.reserved
             + len(self._recv_buffer)
         )
+
+    # ---------------------------------------------------------------- faults
+
+    def stall(self) -> None:
+        """Freeze the transport: no tuple moves until unstalled or reset.
+
+        Models a wedged or dead peer as the sender experiences it: sends
+        keep landing in the (splitter-side) send buffer until it fills,
+        then the sender blocks — and stays blocked, because nothing drains.
+        """
+        self.stalled = True
+
+    def unstall(self) -> None:
+        """Thaw a stalled transport and let flow control catch up."""
+        if not self.stalled:
+            return
+        self.stalled = False
+        self._pump()
+
+    def cancel_wait(self) -> "Callable[[], None] | None":
+        """Drop the parked send-space waiter, returning it (or ``None``).
+
+        Recovery path: when the splitter abandons a dead channel it must
+        un-park from its ``select`` before it can route elsewhere.
+        """
+        waiter = self._send_space_waiter
+        self._send_space_waiter = None
+        return waiter
+
+    def fail(self) -> int:
+        """Kill the transport: drop all buffered and in-flight tuples.
+
+        Returns how many tuples were dropped (send + in-flight + receive).
+        The connection stays stalled afterwards; :meth:`reset` revives it.
+        Replay of the dropped tuples is the splitter's job — it holds the
+        retransmit buffer of everything unacknowledged.
+        """
+        dropped = self.queued_tuples()
+        self._generation += 1
+        self._send_buffer.clear()
+        self._recv_buffer.clear()
+        self.stalled = True
+        return dropped
+
+    def reset(self) -> None:
+        """Revive a failed/stalled connection with empty buffers.
+
+        The restarted peer comes up with fresh socket state; any tuple
+        from the old generation that is still in flight is dropped on
+        arrival.
+        """
+        self._generation += 1
+        self._send_buffer.clear()
+        self._recv_buffer.clear()
+        self._send_space_waiter = None
+        self.stalled = False
 
     # -------------------------------------------------------------- internal
 
@@ -148,7 +231,7 @@ class SimulatedConnection:
         untouched: space is reserved per tuple when its transfer starts,
         and delivery/counters advance per tuple on arrival.
         """
-        if self._pumping:
+        if self._pumping or self.stalled:
             return
         self._pumping = True
         freed_send_space = False
@@ -174,30 +257,45 @@ class SimulatedConnection:
                     else:
                         batch.append(item)
                 if batch is not None:
+                    generation = self._generation
                     if self.batch_transfers:
                         self.sim.schedule_after(
                             self.wire_delay,
-                            lambda items=batch: self._arrive_batch(items),
+                            lambda items=batch, gen=generation: (
+                                self._arrive_batch(items, gen)
+                            ),
                         )
                     else:
                         for item in batch:
                             self.sim.schedule_after(
                                 self.wire_delay,
-                                lambda it=item: self._arrive_batch((it,)),
+                                lambda it=item, gen=generation: (
+                                    self._arrive_batch((it,), gen)
+                                ),
                             )
         finally:
             self._pumping = False
         if freed_send_space:
             self._wake_sender()
 
-    def _arrive_batch(self, items: "tuple[Any, ...] | list[Any]") -> None:
+    def _arrive_batch(
+        self,
+        items: "tuple[Any, ...] | list[Any]",
+        generation: int | None = None,
+    ) -> None:
         """Complete delayed in-flight transfers, one tuple at a time.
 
         Each tuple runs the exact per-arrival sequence of the unbatched
         engine: convert its reservation, count it, notify the consumer,
         then let flow control catch up (the delivery callback may have
         consumed tuples and freed receive space).
+
+        ``generation`` is the connection generation the transfer started
+        under; a fail/reset in between invalidates the transfer (the bytes
+        died with the old socket), so the arrival is dropped.
         """
+        if generation is not None and generation != self._generation:
+            return
         for item in items:
             self._recv_buffer.push_reserved(item)
             self.tuples_delivered += 1

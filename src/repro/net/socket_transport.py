@@ -35,17 +35,66 @@ from repro.util.validation import check_positive
 _DONTWAIT = getattr(socket, "MSG_DONTWAIT", 0)
 
 
-class BlockingSocketSender:
-    """Send frames on a non-blocking socket, recording blocking time."""
+class PeerDeadError(ConnectionError):
+    """The receiving peer is gone (reset, closed, or socket exception)."""
 
-    def __init__(self, sock: socket.socket) -> None:
+
+class SendTimeoutError(TimeoutError):
+    """A send did not become possible within the sender's ``send_timeout``."""
+
+
+class BlockingSocketSender:
+    """Send frames on a non-blocking socket, recording blocking time.
+
+    The blocked wait is a **bounded** ``select`` loop: each poll has a
+    timeout (growing exponentially from ``poll_start`` to ``poll_max``)
+    and watches the exceptional set as well as writability, so a dead or
+    errored peer raises :exc:`PeerDeadError` instead of parking the
+    sender in one unbounded syscall forever. An optional ``send_timeout``
+    bounds the whole wait, raising :exc:`SendTimeoutError` — the caller
+    (a splitter's recovery layer) can then fail the channel over. After a
+    failure, :meth:`replace_socket` resumes sending on a fresh socket
+    without losing the cumulative blocking measurement.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        send_timeout: float | None = None,
+        poll_start: float = 0.005,
+        poll_max: float = 0.25,
+    ) -> None:
+        check_positive("poll_start", poll_start)
+        check_positive("poll_max", poll_max)
+        if send_timeout is not None:
+            check_positive("send_timeout", send_timeout)
         sock.setblocking(False)
         self.sock = sock
+        #: Overall bound on one blocked wait (None waits indefinitely,
+        #: still in bounded polls so peer death is noticed between them).
+        self.send_timeout = send_timeout
+        self.poll_start = float(poll_start)
+        self.poll_max = float(poll_max)
         #: Cumulative blocking time, exactly as the data transport layer
         #: of the paper maintains it.
         self.blocking = BlockingCounter()
         #: Frames fully sent.
         self.frames_sent = 0
+
+    def replace_socket(self, sock: socket.socket) -> None:
+        """Resume on a fresh socket (reconnect after a peer death).
+
+        The old socket is closed; blocking counters and the frame count
+        carry over — the measurement outlives the transport instance.
+        """
+        old = self.sock
+        sock.setblocking(False)
+        self.sock = sock
+        try:
+            old.close()
+        except OSError:
+            pass
 
     def try_send(self, frame: bytes) -> bool:
         """One non-blocking attempt; ``False`` means it would block.
@@ -57,6 +106,8 @@ class BlockingSocketSender:
             sent = self.sock.send(frame, _DONTWAIT)
         except (BlockingIOError, InterruptedError):
             return False
+        except OSError as exc:
+            raise PeerDeadError(f"peer is gone: {exc}") from exc
         self._finish(frame, sent)
         return True
 
@@ -67,13 +118,7 @@ class BlockingSocketSender:
         self._wait_writable()
         # After select reports writability a send can still be partial (or
         # in rare cases fail again); loop until the frame is out.
-        offset = 0
-        while offset < len(frame):
-            try:
-                offset += self.sock.send(frame[offset:], _DONTWAIT)
-            except (BlockingIOError, InterruptedError):
-                self._wait_writable()
-        self.frames_sent += 1
+        self._finish(frame, 0)
 
     def _finish(self, frame: bytes, sent: int) -> None:
         offset = sent
@@ -82,12 +127,44 @@ class BlockingSocketSender:
                 offset += self.sock.send(frame[offset:], _DONTWAIT)
             except (BlockingIOError, InterruptedError):
                 self._wait_writable()
+            except OSError as exc:
+                raise PeerDeadError(f"peer is gone: {exc}") from exc
         self.frames_sent += 1
 
     def _wait_writable(self) -> None:
+        """Wait until the socket is writable, timing the blocked interval.
+
+        Bounded polls with exponential backoff replace the previous
+        unbounded ``select.select([], [sock], [])``, and the exceptional
+        set is no longer ignored: a socket error raises instead of
+        reporting a write that would fail.
+        """
         started = time.monotonic()
-        select.select([], [self.sock], [])
-        self.blocking.add(time.monotonic() - started)
+        deadline = (
+            None if self.send_timeout is None else started + self.send_timeout
+        )
+        poll = self.poll_start
+        try:
+            while True:
+                timeout = poll
+                if deadline is not None:
+                    timeout = min(poll, max(0.0, deadline - time.monotonic()))
+                _, writable, exceptional = select.select(
+                    [], [self.sock], [self.sock], timeout
+                )
+                if exceptional:
+                    raise PeerDeadError(
+                        "socket entered an exceptional state while blocked"
+                    )
+                if writable:
+                    return
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise SendTimeoutError(
+                        f"send not possible within {self.send_timeout:g}s"
+                    )
+                poll = min(poll * 2.0, self.poll_max)
+        finally:
+            self.blocking.add(time.monotonic() - started)
 
 
 class _SocketWorker(threading.Thread):
@@ -137,13 +214,17 @@ class SocketMiniRegion:
         *,
         frame_size: int = 512,
         buffer_bytes: int = 4096,
+        send_timeout: float | None = None,
+        join_timeout: float = 5.0,
     ) -> None:
         if not service_times:
             raise ValueError("need at least one worker")
         check_positive("frame_size", frame_size)
         check_positive("buffer_bytes", buffer_bytes)
+        check_positive("join_timeout", join_timeout)
         self.frame_size = frame_size
         self.frame = b"x" * frame_size
+        self.join_timeout = float(join_timeout)
         self.senders: list[BlockingSocketSender] = []
         self.workers: list[_SocketWorker] = []
         for service in service_times:
@@ -151,7 +232,9 @@ class SocketMiniRegion:
             for sock in (left, right):
                 sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, buffer_bytes)
                 sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, buffer_bytes)
-            self.senders.append(BlockingSocketSender(left))
+            self.senders.append(
+                BlockingSocketSender(left, send_timeout=send_timeout)
+            )
             worker = _SocketWorker(right, frame_size, service)
             worker.start()
             self.workers.append(worker)
@@ -170,18 +253,35 @@ class SocketMiniRegion:
             self.senders[policy.next_connection()].send(self.frame)
 
     def close(self) -> None:
-        """Shut the region down and join the workers."""
+        """Shut the region down and join the workers.
+
+        A worker that fails to exit within ``join_timeout`` or that died
+        with an exception is an error, not a silent leak: the first
+        stashed worker failure is re-raised, and stuck workers raise
+        :class:`RuntimeError` naming them. Sockets are closed either way.
+        """
         for sender in self.senders:
             try:
                 sender.sock.shutdown(socket.SHUT_WR)
             except OSError:
                 pass
-        for worker in self.workers:
-            worker.join(timeout=5.0)
+        stuck: list[int] = []
+        for index, worker in enumerate(self.workers):
+            worker.join(timeout=self.join_timeout)
+            if worker.is_alive():
+                stuck.append(index)
         for sender in self.senders:
             sender.sock.close()
         for worker in self.workers:
             worker.sock.close()
+        for worker in self.workers:
+            if worker._failure is not None:
+                raise worker._failure
+        if stuck:
+            raise RuntimeError(
+                f"workers {stuck} did not exit within "
+                f"{self.join_timeout:g}s of shutdown"
+            )
 
     def __enter__(self) -> "SocketMiniRegion":
         return self

@@ -11,11 +11,20 @@ implementation choice to "block at the splitter" rather than at the merger
 ("it is an artifact of our implementation *where* we block. But we
 fundamentally have to block *somewhere*"). Its occupancy stays bounded in
 practice by the connections' bounded buffers.
+
+Failure recovery: a crashed worker's unacknowledged tuples are normally
+*replayed* to survivors by the splitter, so the merger never waits forever
+on a lost sequence number and its invariants are untouched. Under the
+bounded-timeout *skip* gap policy the recovery layer instead declares those
+sequence numbers lost via :meth:`OrderedMerger.mark_lost`; the merger
+advances past them (counting ``tuples_lost``) and tolerates any late
+arrival of a skipped tuple as a counted drop rather than a
+:class:`SequenceError`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from typing import TYPE_CHECKING
 
 from repro.streams.tuples import StreamTuple
@@ -56,6 +65,15 @@ class OrderedMerger:
         self.latency_count = 0
         self._completion_target: int | None = None
         self._on_complete: Callable[[], None] | None = None
+        #: Sequence numbers declared lost (skip gap policy), not yet passed.
+        self._lost: set[int] = set()
+        #: Sequence numbers already skipped over (kept to classify a late
+        #: arrival of a skipped tuple as a drop, not a sequence violation).
+        self._skipped: set[int] = set()
+        #: Gaps skipped over instead of waiting/replaying (skip gap policy).
+        self.tuples_lost = 0
+        #: Tuples that arrived after their seq had been declared lost.
+        self.late_arrivals = 0
 
     @property
     def next_seq(self) -> int:
@@ -68,7 +86,11 @@ class OrderedMerger:
         return len(self._pending)
 
     def on_completion(self, target: int, callback: Callable[[], None]) -> None:
-        """Invoke ``callback`` once ``target`` tuples have been emitted."""
+        """Invoke ``callback`` once ``target`` tuples have been disposed of.
+
+        Emitted and declared-lost tuples both count: a finite budget under
+        the skip gap policy still drains even when its tail is lost.
+        """
         if target <= 0:
             raise ValueError(f"target must be positive, got {target}")
         self._completion_target = target
@@ -79,10 +101,20 @@ class OrderedMerger:
         pending = self._pending
         seq = tup.seq
         if seq < self._next_seq or seq in pending:
+            if seq in self._skipped or seq in self._lost:
+                # A tuple the recovery layer already gave up on (skip gap
+                # policy) straggled in — drop it, order is preserved.
+                self._lost.discard(seq)
+                self.late_arrivals += 1
+                return
             raise SequenceError(
                 f"tuple seq {seq} already merged or pending "
                 f"(next expected: {self._next_seq})"
             )
+        if seq in self._lost:
+            self._lost.discard(seq)
+            self.late_arrivals += 1
+            return
         received = self.received_per_worker
         received[worker_id] = received.get(worker_id, 0) + 1
         pending[seq] = tup
@@ -93,6 +125,45 @@ class OrderedMerger:
             ready = pending.pop(self._next_seq)
             self._next_seq += 1
             self._emit(ready)
+        if self._lost and self._next_seq in self._lost:
+            self._advance_past_lost()
+
+    def mark_lost(self, seqs: "Iterable[int]") -> int:
+        """Declare ``seqs`` lost: never wait for them (skip gap policy).
+
+        Sequence numbers already emitted or currently pending are ignored
+        (they are not lost). Returns how many were newly marked. The merger
+        then advances past any lost prefix immediately, releasing every
+        held-back successor.
+        """
+        marked = 0
+        for seq in seqs:
+            if seq < self._next_seq or seq in self._pending:
+                continue
+            if seq not in self._lost:
+                self._lost.add(seq)
+                marked += 1
+        if self._lost and self._next_seq in self._lost:
+            self._advance_past_lost()
+        return marked
+
+    def _advance_past_lost(self) -> None:
+        """Skip lost seqs (and any pending tuples they unblock) in order."""
+        pending = self._pending
+        lost = self._lost
+        while True:
+            if self._next_seq in lost:
+                lost.discard(self._next_seq)
+                self._skipped.add(self._next_seq)
+                self.tuples_lost += 1
+                self._next_seq += 1
+                self._check_completion()
+            elif self._next_seq in pending:
+                ready = pending.pop(self._next_seq)
+                self._next_seq += 1
+                self._emit(ready)
+            else:
+                return
 
     def _emit(self, tup: StreamTuple) -> None:
         self.emitted += 1
@@ -103,9 +174,12 @@ class OrderedMerger:
             self.latency_count += 1
         if self.on_emit is not None:
             self.on_emit(tup)
+        self._check_completion()
+
+    def _check_completion(self) -> None:
         if (
             self._completion_target is not None
-            and self.emitted >= self._completion_target
+            and self.emitted + self.tuples_lost >= self._completion_target
         ):
             callback, self._on_complete = self._on_complete, None
             self._completion_target = None

@@ -10,6 +10,15 @@ buffer one at a time; the service time of a tuple is
 value of 100 makes every tuple take 100x longer, exactly how the paper
 loads half its PEs. It can change mid-run (the experiments remove the load
 an eighth of the way through); the new value applies from the next tuple.
+
+Fault support: a PE can **crash** (process dies; the tuple in service is
+lost — it was never acknowledged, so the splitter's retransmit buffer
+still holds it), be **halted** (quarantined by the recovery layer while
+the process may still be up, e.g. after a connection stall), **restart**
+(process back up, idle), and **resume** (reintegrated into the region).
+Fault-tolerant regions schedule completions through cancellable events so
+a crash can revoke the in-service tuple; plain regions keep the
+allocation-free hot path.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ class WorkerPE:
         load_multiplier: float = 1.0,
         service_jitter: float = 0.0,
         seed: int = 0,
+        fault_tolerant: bool = False,
     ) -> None:
         check_positive("load_multiplier", load_multiplier)
         check_fraction("service_jitter", service_jitter)
@@ -68,6 +78,21 @@ class WorkerPE:
         self.tuples_processed = 0
         #: Seconds this PE has spent servicing tuples.
         self.busy_seconds = 0.0
+        #: Fault-tolerant mode: completions are cancellable so a crash can
+        #: revoke the tuple in service. Off by default — the plain path
+        #: allocates no event objects per tuple.
+        self.fault_tolerant = bool(fault_tolerant)
+        #: Whether the PE process is up (heartbeat signal for recovery).
+        self.alive = True
+        #: Quarantined by the recovery layer: do not consume even if up.
+        self._halted = False
+        self._completion_event = None
+        #: Tuples whose service was revoked by a crash/halt (diagnostic;
+        #: each one is replayed by the splitter, never silently lost).
+        self.tuples_dropped = 0
+        #: Called ``(pe_id, seq)`` after a tuple is accepted by the merger
+        #: — the acknowledgement the splitter's retransmit buffer consumes.
+        self.on_processed = None
         connection.on_deliver = self._on_deliver
         host.place(self)
 
@@ -98,10 +123,77 @@ class WorkerPE:
         factor = 1.0 + self.service_jitter * (2.0 * self._rng.random() - 1.0)
         return base * factor
 
+    # --------------------------------------------------------------- faults
+
+    @property
+    def halted(self) -> bool:
+        """Whether the recovery layer has quarantined this PE."""
+        return self._halted
+
+    def crash(self) -> "StreamTuple | None":
+        """Kill the PE process mid-run; returns the tuple whose service died.
+
+        The revoked tuple was never acknowledged, so the splitter's
+        retransmit buffer still holds it for replay. Requires
+        ``fault_tolerant`` (plain regions have no cancellable completions).
+        """
+        self.alive = False
+        return self._revoke_service()
+
+    def halt(self) -> "StreamTuple | None":
+        """Quarantine a (possibly still live) PE: stop consuming now.
+
+        Used when the recovery layer fails a channel whose worker process
+        may be fine (connection stall): the in-service tuple is revoked so
+        its replay to a survivor cannot produce a duplicate emission.
+        """
+        self._halted = True
+        return self._revoke_service()
+
+    def restart(self) -> None:
+        """The PE process is back up.
+
+        If the channel was never failed over (a restart quicker than the
+        liveness monitor's detection window), consumption resumes directly
+        from the intact receive buffer; a quarantined PE stays halted
+        until the recovery layer resumes it.
+        """
+        self.alive = True
+        if (
+            not self._halted
+            and not self._busy
+            and self.connection.recv_available() > 0
+        ):
+            self._start_next()
+
+    def resume(self) -> None:
+        """Reintegrate: start consuming again from the (reset) connection."""
+        self._halted = False
+        if self.alive and not self._busy and self.connection.recv_available() > 0:
+            self._start_next()
+
+    def _revoke_service(self) -> "StreamTuple | None":
+        if not self.fault_tolerant:
+            raise RuntimeError(
+                f"PE {self.pe_id} is not fault-tolerant; build the region "
+                "with RegionParams(fault_tolerant=True) to inject faults"
+            )
+        revoked = self._in_service
+        self._in_service = None
+        self._busy = False
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if revoked is not None:
+            self.tuples_dropped += 1
+        return revoked
+
     # ------------------------------------------------------------- internal
 
     def _on_deliver(self) -> None:
         if not self._busy and self.connection.recv_available() > 0:
+            if self._halted or not self.alive:
+                return
             self._start_next()
 
     def _start_next(self) -> None:
@@ -110,14 +202,24 @@ class WorkerPE:
         duration = self.service_time(tup)
         self.busy_seconds += duration
         self._in_service = tup
-        self.sim.schedule_after(duration, self._complete_cb)
+        if self.fault_tolerant:
+            self._completion_event = self.sim.call_after(
+                duration, self._complete_cb
+            )
+        else:
+            self.sim.schedule_after(duration, self._complete_cb)
 
     def _complete(self) -> None:
         tup = self._in_service
         self._in_service = None
+        self._completion_event = None
         self.tuples_processed += 1
         self.merger.accept(self.pe_id, tup)
-        if self.connection.recv_available() > 0:
+        if self.on_processed is not None:
+            self.on_processed(self.pe_id, tup.seq)
+        if self._halted or not self.alive:
+            self._busy = False
+        elif self.connection.recv_available() > 0:
             self._start_next()
         else:
             self._busy = False

@@ -38,6 +38,16 @@ class RegionParams:
     send_capacity: int = 32
     recv_capacity: int = 32
     wire_delay: float = 0.0
+    #: Enable the failure-recovery machinery: the splitter tracks in-flight
+    #: tuples for replay, workers ack processed tuples and schedule
+    #: cancellable completions so a crash can revoke the tuple in service.
+    #: Off by default — the plain hot path is byte-identical to a region
+    #: without fault support.
+    fault_tolerant: bool = False
+    #: Per-connection retransmit-buffer cap (``None`` sizes it to the
+    #: connection's total queue capacity plus one in-service tuple, which
+    #: can never overflow because acks retire entries synchronously).
+    retransmit_capacity: int | None = None
     #: Coalesce same-pump in-flight transfers into one arrival event (see
     #: :class:`~repro.net.connection.SimulatedConnection`); semantics are
     #: identical either way, batching just schedules fewer events.
@@ -111,16 +121,32 @@ class ParallelRegion:
                 ),
                 service_jitter=self.params.service_jitter,
                 seed=self.params.seed,
+                fault_tolerant=self.params.fault_tolerant,
             )
             for i in range(n_workers)
         ]
+        retransmit_capacity = None
+        if self.params.fault_tolerant:
+            retransmit_capacity = self.params.retransmit_capacity
+            if retransmit_capacity is None:
+                # Everything a channel can hold unacknowledged: both system
+                # buffers, plus one tuple in flight on the wire and one in
+                # service at the worker.
+                retransmit_capacity = (
+                    self.params.send_capacity + self.params.recv_capacity + 2
+                )
         self.splitter = Splitter(
             sim,
             source,
             self.connections,
             policy,
             send_overhead=self.params.send_overhead,
+            fault_tolerant=self.params.fault_tolerant,
+            retransmit_capacity=retransmit_capacity,
         )
+        if self.params.fault_tolerant:
+            for worker in self.workers:
+                worker.on_processed = self.splitter.acknowledge
 
     @property
     def n_workers(self) -> int:
@@ -135,6 +161,36 @@ class ParallelRegion:
     def start(self, at: float = 0.0) -> None:
         """Begin streaming at simulated time ``at``."""
         self.splitter.start(at)
+
+    # ------------------------------------------------------------- recovery
+
+    def fail_channel(self, channel: int, *, replay: bool = True) -> list[int]:
+        """Kill channel ``channel`` end to end and recover its tuples.
+
+        Halts the worker (revoking any tuple in service — it is still in
+        the retransmit buffer), drops the connection's buffered and
+        in-flight tuples, and queues every unacknowledged tuple for replay
+        to the surviving channels. With ``replay=False`` (the *skip* gap
+        policy) nothing is replayed and the sequence numbers are returned.
+
+        Returns the sequence numbers that will **not** be replayed; the
+        caller must route them to :meth:`OrderedMerger.mark_lost` (after
+        its gap timeout) so the merger does not wait forever.
+        """
+        if not self.params.fault_tolerant:
+            raise RuntimeError(
+                "fail_channel requires RegionParams(fault_tolerant=True)"
+            )
+        self.workers[channel].halt()
+        self.connections[channel].fail()
+        _, lost = self.splitter.fail_channel(channel, replay=replay)
+        return lost
+
+    def restore_channel(self, channel: int) -> None:
+        """Bring a failed channel back: fresh transport, worker resumed."""
+        self.connections[channel].reset()
+        self.workers[channel].resume()
+        self.splitter.restore_channel(channel)
 
     def total_capacity(self) -> float:
         """Aggregate worker service capacity in tuples/sec for unit cost.

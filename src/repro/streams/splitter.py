@@ -13,10 +13,34 @@ Policies that set ``allows_reroute`` get the Section 4.4 transport-level
 re-routing behaviour instead: on would-block the tuple is offered to
 alternate connections, and the splitter blocks only when *every* buffer is
 full. The paper shows why that baseline fails; we reproduce the failure.
+
+Failure recovery (fault-tolerant mode)
+--------------------------------------
+
+The paper assumes workers slow down but never die; a crashed PE would park
+the splitter forever and deadlock the ordered merger on the lost sequence
+numbers. In fault-tolerant mode the splitter therefore keeps a bounded
+**retransmit buffer** of in-flight (sent but unacknowledged) tuples per
+connection. Acknowledgements arrive per tuple once the merger accepts it.
+When the recovery layer declares a channel dead, :meth:`fail_channel`
+
+* un-parks the splitter if it was blocked on the dead channel (charging
+  the real blocking time) and re-routes the pending tuple,
+* marks the channel non-live so no policy decision can land on it (the
+  pick is redirected to the cyclically-next live channel and counted in
+  ``fault_reroutes``),
+* queues the channel's unacknowledged tuples for **replay** to survivors
+  (the default gap policy), or hands their sequence numbers back to the
+  caller for a bounded-timeout **skip** at the merger.
+
+Replayed tuples retain their original sequence numbers and birth stamps,
+so sequential semantics and latency accounting survive the failure: the
+merger still emits every tuple exactly once, in order.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.util.validation import check_positive
@@ -58,10 +82,14 @@ class Splitter:
         policy: RoutingPolicy,
         *,
         send_overhead: float = 1e-5,
+        fault_tolerant: bool = False,
+        retransmit_capacity: int | None = None,
     ) -> None:
         if not connections:
             raise ValueError("splitter needs at least one connection")
         check_positive("send_overhead", send_overhead)
+        if retransmit_capacity is not None:
+            check_positive("retransmit_capacity", retransmit_capacity)
         self.sim = sim
         self.source = source
         self.connections = connections
@@ -75,10 +103,31 @@ class Splitter:
         self.block_events = 0
         #: True once the source is drained and the last tuple sent.
         self.finished = False
+        #: Which channels are currently live (all, until a failure).
+        self.live = [True] * len(connections)
+        #: Tuples queued for replay after a channel failure.
+        self.tuples_replayed = 0
+        #: Policy picks redirected away from a dead channel.
+        self.fault_reroutes = 0
+        #: Tuples evicted from a full retransmit buffer (unreplayable if
+        #: their channel later dies; zero under the default sizing).
+        self.retransmit_dropped = 0
+        #: Per-connection retransmit cap (``None`` = unbounded).
+        self.retransmit_capacity = retransmit_capacity
         self._pending: "StreamTuple | None" = None
         self._target: int | None = None
         self._block_start: float | None = None
         self._started = False
+        self._parked_no_live = False
+        #: Replay queue, consumed before the source.
+        self._replay: "deque[StreamTuple]" = deque()
+        #: Per-connection sent-but-unacknowledged tuples (FIFO in send
+        #: order, which is also each worker's processing order).
+        self._inflight: "list[deque[StreamTuple]] | None" = (
+            [deque() for _ in connections] if fault_tolerant else None
+        )
+        #: Seqs evicted from the retransmit buffer and not yet acked.
+        self._unreplayable: list[set[int]] = [set() for _ in connections]
         # Prebound once: _try_send is scheduled per tuple, and rebinding
         # the method per send is measurable on the hot path.
         self._try_send_cb = self._try_send
@@ -88,6 +137,11 @@ class Splitter:
         """Total tuples pushed into connections so far."""
         return sum(self.sent_per_connection)
 
+    @property
+    def fault_tolerant(self) -> bool:
+        """Whether the retransmit buffer (and thus replay) is enabled."""
+        return self._inflight is not None
+
     def start(self, at: float = 0.0) -> None:
         """Begin the send loop at simulated time ``at``."""
         if self._started:
@@ -95,21 +149,148 @@ class Splitter:
         self._started = True
         self.sim.call_at(at, self._try_send)
 
+    # ------------------------------------------------------------- recovery
+
+    def blocked_on(self) -> int | None:
+        """Connection the splitter is parked on, or ``None`` if not blocked."""
+        return self._target if self._block_start is not None else None
+
+    @property
+    def blocked_since(self) -> float | None:
+        """Simulated time the current blocking episode started (if any)."""
+        return self._block_start
+
+    def inflight_count(self, connection: int) -> int:
+        """Unacknowledged tuples currently charged to ``connection``."""
+        if self._inflight is None:
+            return 0
+        return len(self._inflight[connection])
+
+    def acknowledge(self, connection: int, seq: int) -> None:
+        """Retire ``seq`` from ``connection``'s retransmit buffer.
+
+        Acks arrive in each connection's FIFO processing order, so the
+        acknowledged tuple is the oldest retained one — unless it was
+        evicted by the bounded buffer, in which case it is retired from
+        the unreplayable set instead.
+        """
+        if self._inflight is None:
+            return
+        buffer = self._inflight[connection]
+        if buffer and buffer[0].seq == seq:
+            buffer.popleft()
+            return
+        evicted = self._unreplayable[connection]
+        if seq in evicted:
+            evicted.discard(seq)
+            return
+        raise RuntimeError(
+            f"ack for seq {seq} does not match connection {connection}'s "
+            f"retransmit buffer (front: "
+            f"{buffer[0].seq if buffer else 'empty'})"
+        )
+
+    def fail_channel(
+        self, channel: int, *, replay: bool = True
+    ) -> tuple[int, list[int]]:
+        """Declare ``channel`` dead and recover its in-flight tuples.
+
+        Returns ``(replayed, lost_seqs)``: how many unacknowledged tuples
+        were queued for replay to survivors, and the sequence numbers that
+        cannot be replayed (evicted from the bounded retransmit buffer,
+        plus — with ``replay=False``, the *skip* gap policy — every
+        unacknowledged tuple). The caller routes ``lost_seqs`` to
+        :meth:`~repro.streams.merger.OrderedMerger.mark_lost` so the
+        merger never waits forever on them.
+
+        The dead channel's transport is untouched here; callers that want
+        the buffers dropped use
+        :meth:`~repro.streams.region.ParallelRegion.fail_channel`, which
+        also halts the worker and fails the connection.
+        """
+        if self._inflight is None:
+            raise RuntimeError(
+                "fail_channel requires a fault-tolerant splitter "
+                "(RegionParams(fault_tolerant=True))"
+            )
+        if not self.live[channel]:
+            return (0, [])
+        self.live[channel] = False
+
+        # Un-park from the dead channel before anything else: the wait
+        # would never end (this is exactly the deadlock being fixed).
+        if self._block_start is not None and self._target == channel:
+            self.connections[channel].cancel_wait()
+            blocked = self.sim.now - self._block_start
+            self._block_start = None
+            self.connections[channel].blocking.add(blocked)
+            self._target = None
+            self.sim.schedule_after(0.0, self._try_send_cb)
+        elif self._pending is not None and self._target == channel:
+            # Not parked but aimed at the dead channel (a send is already
+            # scheduled): just force a re-pick when it fires.
+            self._target = None
+
+        unacked = self._inflight[channel]
+        lost = sorted(self._unreplayable[channel])
+        self._unreplayable[channel] = set()
+        replayed = 0
+        if replay:
+            replayed = len(unacked)
+            self.tuples_replayed += replayed
+            self._replay.extend(unacked)
+        else:
+            lost.extend(tup.seq for tup in unacked)
+        unacked.clear()
+        if replayed and self.finished:
+            # The source had drained but replay revives the send loop.
+            self.finished = False
+            self.sim.schedule_after(0.0, self._try_send_cb)
+        return (replayed, lost)
+
+    def restore_channel(self, channel: int) -> None:
+        """Mark a recovered ``channel`` live again.
+
+        The caller is responsible for having reset the transport; routing
+        resumes the next time the policy picks the channel.
+        """
+        if self.live[channel]:
+            return
+        self.live[channel] = True
+        if self._parked_no_live:
+            self._parked_no_live = False
+            self.sim.schedule_after(0.0, self._try_send_cb)
+
     # ------------------------------------------------------------- internal
 
     def _try_send(self) -> None:
         if self._pending is None:
-            tup = self.source.next_tuple()
-            if tup is None:
-                self.finished = True
-                return
-            tup.born_at = self.sim.now
+            if self._replay:
+                tup = self._replay.popleft()
+            else:
+                tup = self.source.next_tuple()
+                if tup is None:
+                    self.finished = True
+                    return
+            if tup.born_at is None:
+                tup.born_at = self.sim.now
             self._pending = tup
-            self._target = self.policy.next_connection()
-            if not 0 <= self._target < len(self.connections):
+            self._target = None
+        if self._target is None:
+            target = self.policy.next_connection()
+            if not 0 <= target < len(self.connections):
                 raise ValueError(
-                    f"policy routed to invalid connection {self._target}"
+                    f"policy routed to invalid connection {target}"
                 )
+            if not self.live[target]:
+                live_target = self._live_alternative(target)
+                if live_target is None:
+                    # Every channel is dead: park until one is restored.
+                    self._parked_no_live = True
+                    return
+                self.fault_reroutes += 1
+                target = live_target
+            self._target = target
 
         target = self._target
         assert target is not None and self._pending is not None
@@ -119,7 +300,7 @@ class Splitter:
 
         if self.policy.allows_reroute:
             for alt in self.policy.reroute_candidates(target):
-                if alt == target:
+                if alt == target or not self.live[alt]:
                     continue
                 if self.connections[alt].send_nowait(self._pending):
                     self.rerouted += 1
@@ -131,6 +312,15 @@ class Splitter:
         self.block_events += 1
         self._block_start = self.sim.now
         self.connections[target].wait_for_send_space(self._on_send_space)
+
+    def _live_alternative(self, dead: int) -> int | None:
+        """The cyclically-next live channel after ``dead`` (or ``None``)."""
+        n = len(self.connections)
+        for offset in range(1, n):
+            candidate = (dead + offset) % n
+            if self.live[candidate]:
+                return candidate
+        return None
 
     def _on_send_space(self) -> None:
         target = self._target
@@ -145,6 +335,17 @@ class Splitter:
 
     def _sent(self, connection: int) -> None:
         self.sent_per_connection[connection] += 1
+        if self._inflight is not None:
+            self._record_inflight(connection, self._pending)
         self._pending = None
         self._target = None
         self.sim.schedule_after(self.send_overhead, self._try_send_cb)
+
+    def _record_inflight(self, connection: int, tup: "StreamTuple") -> None:
+        buffer = self._inflight[connection]
+        capacity = self.retransmit_capacity
+        if capacity is not None and len(buffer) >= capacity:
+            evicted = buffer.popleft()
+            self._unreplayable[connection].add(evicted.seq)
+            self.retransmit_dropped += 1
+        buffer.append(tup)

@@ -5,10 +5,16 @@ they are skipped automatically when the environment forbids sockets.
 """
 
 import socket
+import time
 
 import pytest
 
-from repro.net.socket_transport import BlockingSocketSender, SocketMiniRegion
+from repro.net.socket_transport import (
+    BlockingSocketSender,
+    PeerDeadError,
+    SendTimeoutError,
+    SocketMiniRegion,
+)
 
 
 def _sockets_available() -> bool:
@@ -91,6 +97,105 @@ class TestBlockingSocketSender:
             right.close()
 
 
+def _fill(sender: BlockingSocketSender, frame: bytes) -> None:
+    """Fill the kernel buffers until a send would block."""
+    for _ in range(10_000):
+        if not sender.try_send(frame):
+            return
+    raise AssertionError("kernel buffers never filled")
+
+
+def _small_pair() -> tuple[socket.socket, socket.socket]:
+    left, right = socket.socketpair()
+    for sock in (left, right):
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 2048)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 2048)
+    return left, right
+
+
+class TestBoundedWait:
+    """The hardened ``_wait_writable``: bounded polls, timeout, peer death."""
+
+    def test_send_timeout_raises_instead_of_hanging(self):
+        left, right = _small_pair()
+        try:
+            sender = BlockingSocketSender(left, send_timeout=0.1)
+            frame = b"x" * 1024
+            _fill(sender, frame)
+            started = time.monotonic()
+            with pytest.raises(SendTimeoutError):
+                sender.send(frame)  # nobody reads: must give up, not hang
+            elapsed = time.monotonic() - started
+            assert 0.05 <= elapsed < 5.0
+        finally:
+            left.close()
+            right.close()
+
+    def test_timed_out_wait_still_charges_blocking(self):
+        left, right = _small_pair()
+        try:
+            sender = BlockingSocketSender(left, send_timeout=0.05)
+            frame = b"x" * 1024
+            _fill(sender, frame)
+            with pytest.raises(SendTimeoutError):
+                sender.send(frame)
+            assert sender.blocking.lifetime_seconds >= 0.04
+        finally:
+            left.close()
+            right.close()
+
+    def test_backoff_poll_interval_is_bounded(self):
+        sender = BlockingSocketSender(
+            socket.socket(socket.AF_UNIX, socket.SOCK_STREAM),
+            poll_start=0.001,
+            poll_max=0.02,
+        )
+        try:
+            assert sender.poll_start == pytest.approx(0.001)
+            assert sender.poll_max == pytest.approx(0.02)
+            with pytest.raises(ValueError):
+                BlockingSocketSender(
+                    socket.socket(socket.AF_UNIX, socket.SOCK_STREAM),
+                    poll_start=0.0,
+                )
+        finally:
+            sender.sock.close()
+
+    def test_peer_close_raises_peer_dead(self):
+        left, right = _small_pair()
+        sender = BlockingSocketSender(left)
+        frame = b"x" * 1024
+        try:
+            right.close()
+            # The peer is gone: EPIPE on send must surface as PeerDeadError,
+            # not BrokenPipeError escaping raw (send may need a couple of
+            # attempts before the kernel reports the death).
+            with pytest.raises(PeerDeadError):
+                for _ in range(100):
+                    sender.send(frame)
+        finally:
+            left.close()
+
+    def test_reconnect_resumes_and_keeps_counters(self):
+        left, right = _small_pair()
+        sender = BlockingSocketSender(left)
+        sender.send(b"x" * 64)
+        frames_before = sender.frames_sent
+        right.close()
+        with pytest.raises(PeerDeadError):
+            for _ in range(100):
+                sender.send(b"x" * 64)
+        new_left, new_right = _small_pair()
+        try:
+            sender.replace_socket(new_left)
+            sender.send(b"y" * 64)
+            assert new_right.recv(64) == b"y" * 64
+            assert sender.frames_sent > frames_before
+        finally:
+            new_left.close()
+            new_right.close()
+
+
 class TestSocketMiniRegion:
     def test_blocking_concentrates_on_slow_worker(self):
         with SocketMiniRegion([0.0002, 0.004]) as region:
@@ -108,3 +213,35 @@ class TestSocketMiniRegion:
     def test_rejects_empty_worker_list(self):
         with pytest.raises(ValueError):
             SocketMiniRegion([])
+
+    def test_close_reraises_worker_failure(self):
+        region = SocketMiniRegion([0.0001])
+        boom = ValueError("worker exploded")
+        region.workers[0]._failure = boom
+        with pytest.raises(ValueError, match="worker exploded"):
+            region.close()
+
+    def test_close_reports_stuck_worker(self):
+        import threading
+
+        region = SocketMiniRegion([0.0001], join_timeout=0.1)
+        # Replace worker 0 with a thread that ignores shutdown entirely.
+        stop = threading.Event()
+
+        class Stuck(threading.Thread):
+            def __init__(self, sock):
+                super().__init__(daemon=True)
+                self.sock = sock
+                self._failure = None
+
+            def run(self):
+                stop.wait(10.0)
+
+        stuck = Stuck(region.workers[0].sock)
+        stuck.start()
+        region.workers[0] = stuck
+        try:
+            with pytest.raises(RuntimeError, match="did not exit"):
+                region.close()
+        finally:
+            stop.set()

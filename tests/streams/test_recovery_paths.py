@@ -1,0 +1,358 @@
+"""Direct unit tests for the dataplane's failure-recovery paths.
+
+The fault package's tests drive these paths end to end; here each layer
+is pinned in isolation — the merger's lost-sequence handling, the
+splitter's retransmit buffer and fail/restore transitions, the worker's
+crash/halt/restart lifecycle, and the connection's fail/reset/redeliver
+primitives.
+"""
+
+import pytest
+
+from repro.core.policies import RoundRobinPolicy
+from repro.net.connection import SimulatedConnection
+from repro.sim.engine import Simulator
+from repro.streams.hosts import Host, Placement
+from repro.streams.merger import OrderedMerger, SequenceError
+from repro.streams.region import ParallelRegion, RegionParams
+from repro.streams.sources import FiniteSource, constant_cost
+from repro.streams.splitter import Splitter
+from repro.streams.tuples import StreamTuple
+
+
+def tup(seq):
+    return StreamTuple(seq=seq, cost_multiplies=1.0)
+
+
+def make_ft_region(sim, n=2, *, total=50, cost=100.0, retransmit_capacity=None):
+    host = Host("h", cores=max(8, n), thread_speed=1000.0)
+    return ParallelRegion(
+        sim,
+        FiniteSource(total, constant_cost(cost)),
+        RoundRobinPolicy(n),
+        Placement.single_host(n, host),
+        params=RegionParams(
+            fault_tolerant=True, retransmit_capacity=retransmit_capacity
+        ),
+    )
+
+
+class TestMergerLostSequences:
+    def test_mark_lost_releases_held_successors(self):
+        merger = OrderedMerger(Simulator())
+        merger.accept(0, tup(1))
+        merger.accept(0, tup(2))
+        assert merger.emitted == 0
+        assert merger.mark_lost([0]) == 1
+        assert merger.emitted == 2
+        assert merger.tuples_lost == 1
+
+    def test_mark_lost_future_gap_waits_until_reached(self):
+        merger = OrderedMerger(Simulator())
+        merger.mark_lost([2])
+        merger.accept(0, tup(0))
+        merger.accept(0, tup(1))
+        # Seq 2 is consumed as lost the moment the cursor reaches it.
+        assert merger.next_seq == 3
+        assert merger.tuples_lost == 1
+
+    def test_emitted_and_pending_seqs_are_not_markable(self):
+        merger = OrderedMerger(Simulator())
+        merger.accept(0, tup(0))
+        merger.accept(0, tup(2))
+        assert merger.mark_lost([0, 2]) == 0
+        assert merger.tuples_lost == 0
+
+    def test_late_arrival_of_skipped_seq_is_a_drop_not_an_error(self):
+        merger = OrderedMerger(Simulator())
+        merger.mark_lost([0])
+        assert merger.next_seq == 1
+        merger.accept(0, tup(0))  # straggler after the skip
+        assert merger.late_arrivals == 1
+        assert merger.emitted == 0
+        # A genuine duplicate still raises.
+        merger.accept(0, tup(1))
+        with pytest.raises(SequenceError):
+            merger.accept(0, tup(1))
+
+    def test_late_arrival_of_marked_but_unskipped_seq(self):
+        merger = OrderedMerger(Simulator())
+        merger.mark_lost([5])
+        merger.accept(0, tup(5))
+        assert merger.late_arrivals == 1
+        assert merger.next_seq == 0
+
+    def test_completion_counts_lost_tuples(self):
+        sim = Simulator()
+        merger = OrderedMerger(sim)
+        fired = []
+        merger.on_completion(3, lambda: fired.append(sim.now))
+        merger.accept(0, tup(0))
+        merger.accept(0, tup(1))
+        merger.mark_lost([2])
+        assert fired, "budget must drain even when its tail is lost"
+
+
+class TestSplitterRetransmit:
+    def _splitter(self, sim, n=2, total=20, capacity=None):
+        connections = [
+            SimulatedConnection(sim, i, send_capacity=4, recv_capacity=4)
+            for i in range(n)
+        ]
+        splitter = Splitter(
+            sim,
+            FiniteSource(total, constant_cost(1.0)),
+            connections,
+            RoundRobinPolicy(n),
+            fault_tolerant=True,
+            retransmit_capacity=capacity,
+        )
+        return splitter, connections
+
+    def test_sent_tuples_are_tracked_until_acked(self):
+        sim = Simulator()
+        splitter, _ = self._splitter(sim)
+        splitter.start()
+        sim.run_until(1.0)
+        # 8 tuples fit in the two connections' send buffers (4 each)
+        # plus in-flight pumps; all unacked.
+        assert splitter.inflight_count(0) > 0
+        total_inflight = splitter.inflight_count(0) + splitter.inflight_count(1)
+        assert total_inflight == splitter.tuples_sent
+
+    def test_acks_retire_fifo(self):
+        sim = Simulator()
+        splitter, _ = self._splitter(sim)
+        splitter.start()
+        sim.run_until(1.0)
+        before = splitter.inflight_count(0)
+        splitter.acknowledge(0, 0)  # seq 0 went to connection 0 (RR)
+        assert splitter.inflight_count(0) == before - 1
+
+    def test_out_of_order_ack_raises(self):
+        sim = Simulator()
+        splitter, _ = self._splitter(sim)
+        splitter.start()
+        sim.run_until(1.0)
+        with pytest.raises(RuntimeError, match="does not match"):
+            splitter.acknowledge(0, 2)  # front of connection 0 is seq 0
+
+    def test_fail_channel_queues_unacked_for_replay(self):
+        sim = Simulator()
+        splitter, _ = self._splitter(sim)
+        splitter.start()
+        sim.run_until(1.0)
+        unacked = splitter.inflight_count(0)
+        replayed, lost = splitter.fail_channel(0)
+        assert replayed == unacked
+        assert lost == []
+        assert splitter.tuples_replayed == unacked
+        assert not splitter.live[0]
+
+    def test_fail_channel_skip_returns_lost_seqs(self):
+        sim = Simulator()
+        splitter, _ = self._splitter(sim)
+        splitter.start()
+        sim.run_until(1.0)
+        unacked = splitter.inflight_count(0)
+        replayed, lost = splitter.fail_channel(0, replay=False)
+        assert replayed == 0
+        assert len(lost) == unacked
+        assert lost == sorted(lost)
+
+    def test_fail_channel_is_idempotent(self):
+        sim = Simulator()
+        splitter, _ = self._splitter(sim)
+        splitter.start()
+        sim.run_until(1.0)
+        splitter.fail_channel(0)
+        assert splitter.fail_channel(0) == (0, [])
+
+    def test_bounded_buffer_evicts_to_unreplayable(self):
+        sim = Simulator()
+        splitter, _ = self._splitter(sim, capacity=2)
+        splitter.start()
+        sim.run_until(1.0)
+        assert splitter.retransmit_dropped > 0
+        assert splitter.inflight_count(0) <= 2
+        _, lost = splitter.fail_channel(0)
+        # Evicted seqs come back as lost even under the replay policy.
+        assert lost
+
+    def test_evicted_then_acked_seq_is_not_lost(self):
+        sim = Simulator()
+        splitter, _ = self._splitter(sim, capacity=2)
+        splitter.start()
+        sim.run_until(1.0)
+        # Connection 0 received seqs 0, 2, 4, ... (RR); with capacity 2
+        # the oldest were evicted. Ack one evicted seq, then fail.
+        splitter.acknowledge(0, 0)
+        _, lost = splitter.fail_channel(0)
+        assert 0 not in lost
+
+    def test_restore_channel_marks_live(self):
+        sim = Simulator()
+        splitter, _ = self._splitter(sim)
+        splitter.start()
+        sim.run_until(1.0)
+        splitter.fail_channel(0)
+        splitter.restore_channel(0)
+        assert splitter.live[0]
+
+    def test_plain_splitter_rejects_fail_channel(self):
+        sim = Simulator()
+        connections = [SimulatedConnection(sim, 0)]
+        splitter = Splitter(
+            sim,
+            FiniteSource(5, constant_cost(1.0)),
+            connections,
+            RoundRobinPolicy(1),
+        )
+        with pytest.raises(RuntimeError, match="fault-tolerant"):
+            splitter.fail_channel(0)
+
+
+class TestRegionFailRestore:
+    def test_fail_channel_reroutes_everything_to_survivor(self):
+        sim = Simulator()
+        region = make_ft_region(sim, n=2, total=40)
+        region.start()
+        sim.run_until(0.5)
+        region.fail_channel(0)
+        sim.run_until(60.0)
+        assert region.merger.emitted == 40
+        assert region.merger.tuples_lost == 0
+        assert region.splitter.fault_reroutes > 0
+
+    def test_plain_region_rejects_fail_channel(self):
+        sim = Simulator()
+        host = Host("h", cores=8, thread_speed=1000.0)
+        region = ParallelRegion(
+            sim,
+            FiniteSource(10, constant_cost(100.0)),
+            RoundRobinPolicy(2),
+            Placement.single_host(2, host),
+        )
+        with pytest.raises(RuntimeError, match="fault_tolerant"):
+            region.fail_channel(0)
+
+    def test_restore_channel_resumes_consumption(self):
+        sim = Simulator()
+        region = make_ft_region(sim, n=2, total=60)
+        region.start()
+        sim.run_until(0.5)
+        region.fail_channel(1)
+        sim.run_until(1.0)
+        region.restore_channel(1)
+        sim.run_until(60.0)
+        assert region.merger.emitted == 60
+        assert region.splitter.live[1]
+
+
+class TestWorkerLifecycle:
+    def test_crash_requires_fault_tolerance(self):
+        sim = Simulator()
+        host = Host("h", cores=8, thread_speed=1000.0)
+        region = ParallelRegion(
+            sim,
+            FiniteSource(10, constant_cost(100.0)),
+            RoundRobinPolicy(1),
+            Placement.single_host(1, host),
+        )
+        region.start()
+        sim.run_until(0.05)
+        with pytest.raises(RuntimeError, match="not fault-tolerant"):
+            region.workers[0].crash()
+
+    def test_crash_revokes_in_service_tuple(self):
+        sim = Simulator()
+        region = make_ft_region(sim, n=1, total=10)
+        region.start()
+        sim.run_until(0.05)  # mid-service (service time is 0.1 s)
+        worker = region.workers[0]
+        assert worker.busy
+        revoked = worker.crash()
+        assert revoked is not None
+        assert not worker.busy
+        assert worker.tuples_dropped == 1
+        # The cancelled completion never fires.
+        processed = worker.tuples_processed
+        sim.run_until(0.3)
+        assert worker.tuples_processed == processed
+
+    def test_halt_then_resume_continues(self):
+        sim = Simulator()
+        region = make_ft_region(sim, n=1, total=10)
+        region.start()
+        sim.run_until(0.05)
+        worker = region.workers[0]
+        # Halt revokes the in-service tuple; redeliver it the way the
+        # injector does, so no sequence number is orphaned.
+        revoked = worker.halt()
+        assert worker.halted
+        assert revoked is not None
+        region.connections[0].requeue_front(revoked)
+        sim.run_until(0.5)
+        stalled_at = worker.tuples_processed
+        worker.resume()
+        sim.run_until(10.0)
+        assert worker.tuples_processed > stalled_at
+        assert region.merger.emitted == 10
+
+    def test_restart_resumes_from_intact_buffer(self):
+        sim = Simulator()
+        region = make_ft_region(sim, n=1, total=10)
+        region.start()
+        sim.run_until(0.05)
+        worker = region.workers[0]
+        revoked = worker.crash()
+        region.connections[0].requeue_front(revoked)
+        worker.restart()
+        sim.run_until(10.0)
+        # Nothing lost: the revoked tuple was redelivered.
+        assert region.merger.emitted == 10
+
+
+class TestConnectionFaultPrimitives:
+    def test_fail_drops_buffers_and_stalls(self):
+        sim = Simulator()
+        conn = SimulatedConnection(sim, 0, send_capacity=4, recv_capacity=4)
+        for seq in range(4):
+            assert conn.send_nowait(tup(seq))
+        sim.run_until(1.0)
+        assert conn.queued_tuples() > 0
+        dropped = conn.fail()
+        assert dropped > 0
+        assert conn.queued_tuples() == 0
+        assert conn.stalled
+
+    def test_in_flight_transfer_cancelled_by_generation(self):
+        sim = Simulator()
+        conn = SimulatedConnection(
+            sim, 0, send_capacity=4, recv_capacity=4, wire_delay=0.5
+        )
+        assert conn.send_nowait(tup(0))
+        sim.run_until(0.1)  # transfer scheduled, not yet arrived
+        conn.fail()
+        conn.reset()
+        sim.run_until(2.0)
+        # The pre-failure transfer must not land in the fresh buffers.
+        assert conn.queued_tuples() == 0
+
+    def test_reset_clears_stall(self):
+        sim = Simulator()
+        conn = SimulatedConnection(sim, 0)
+        conn.fail()
+        assert conn.stalled
+        conn.reset()
+        assert not conn.stalled
+        assert conn.send_nowait(tup(0))
+
+    def test_requeue_front_bypasses_capacity(self):
+        sim = Simulator()
+        conn = SimulatedConnection(sim, 0, send_capacity=2, recv_capacity=1)
+        for seq in range(1, 3):
+            conn.send_nowait(tup(seq))
+        sim.run_until(1.0)
+        conn.requeue_front(tup(0))
+        assert conn.take().seq == 0
