@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Overload protection: shed load gracefully instead of queueing forever.
+
+Offers a 4-worker ordered region twice its capacity for two simulated
+minutes, first unprotected and then with the overload-management layer
+on (``RegionParams(overload_protection=True)``). Unprotected, the region
+still runs at capacity — but the open-loop input queue grows linearly
+for the whole run, and with it the latency of every admitted tuple.
+Protected, the detector trips after a few confirmation checks and
+admission control sheds the excess *before sequence assignment* (the
+admitted stream stays gap-free, so the ordered merge never notices),
+while merger->splitter flow control bounds the reordering buffer and the
+balancer's safe mode keeps the weights from chasing saturated noise.
+
+Run:  python examples/overload_shedding.py
+Run:  python examples/overload_shedding.py --shedding drop-tail
+      (or: probabilistic, priority)
+"""
+
+import sys
+
+from repro.analysis.report import sparkline
+from repro.experiments.config import overload_scenario
+from repro.experiments.runner import run_experiment
+
+
+def queue_strip(result, maximum):
+    values = [v for _, v in result.queue_series]
+    return sparkline(values, maximum=maximum)
+
+
+def main() -> None:
+    shedding = "probabilistic"
+    if "--shedding" in sys.argv[1:]:
+        shedding = sys.argv[sys.argv.index("--shedding") + 1]
+
+    print(
+        "Offering 2x capacity to a 4-worker ordered region for 120s "
+        f"(shedding policy: {shedding})...\n"
+    )
+    unprotected = run_experiment(
+        overload_scenario(duration=120.0, protection=False), "lb-adaptive"
+    )
+    protected = run_experiment(
+        overload_scenario(duration=120.0, shedding=shedding), "lb-adaptive"
+    )
+
+    print("--- unprotected " + "-" * 44)
+    print(unprotected.summary())
+    print("--- protected " + "-" * 46)
+    print(protected.summary())
+
+    top = float(unprotected.max_input_queue)
+    print()
+    print("Input queue over time (shared scale):")
+    print(f"  unprotected |{queue_strip(unprotected, top)}|")
+    print(f"  protected   |{queue_strip(protected, top)}|")
+    print(f"  (full scale = {top:g} tuples)")
+
+    p99 = [v for _, v in protected.p99_latency_series]
+    print()
+    print(
+        f"Protected run: shed {protected.shed_ratio():.0%} of offered "
+        f"load, input queue peaked at {protected.max_input_queue} "
+        f"(vs {unprotected.max_input_queue} unprotected), merger pending "
+        f"peaked at {protected.max_merger_pending}, and p99 latency "
+        f"stayed under {max(p99):.1f}s."
+    )
+    print(
+        f"Both runs emitted about the same tuples "
+        f"({protected.emitted} vs {unprotected.emitted}): past capacity, "
+        "shedding costs nothing — it only bounds memory and latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

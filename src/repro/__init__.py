@@ -52,8 +52,14 @@ from repro.experiments import (
     RunResult,
     fault_recovery_scenario,
     oracle_schedule,
+    overload_scenario,
     plan_placement,
     run_experiment,
+)
+from repro.overload import (
+    OverloadConfig,
+    OverloadDetector,
+    OverloadManager,
 )
 from repro.faults import (
     FaultInjector,
@@ -75,7 +81,9 @@ from repro.streams import (
     ParallelRegion,
     PassThrough,
     Placement,
+    RatedSource,
     RegionParams,
+    RegionStalledError,
     SinkOp,
     SourceOp,
     Splitter,
@@ -109,8 +117,12 @@ __all__ = [
     "RunResult",
     "fault_recovery_scenario",
     "oracle_schedule",
+    "overload_scenario",
     "plan_placement",
     "run_experiment",
+    "OverloadConfig",
+    "OverloadDetector",
+    "OverloadManager",
     "FaultInjector",
     "FaultSchedule",
     "RecoveryConfig",
@@ -128,7 +140,9 @@ __all__ = [
     "ParallelRegion",
     "PassThrough",
     "Placement",
+    "RatedSource",
     "RegionParams",
+    "RegionStalledError",
     "SinkOp",
     "SourceOp",
     "Splitter",

@@ -29,6 +29,7 @@ the weight constraints.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -37,6 +38,12 @@ from repro.core.clustering import DEFAULT_DELTA, cluster_functions
 from repro.core.constraints import WeightConstraints
 from repro.core.rap import solve_minimax_binary_search, solve_minimax_fox
 from repro.core.rate_function import DEFAULT_RESOLUTION, BlockingRateFunction
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_fraction,
+)
 
 _SOLVERS = {
     "fox": solve_minimax_fox,
@@ -79,20 +86,59 @@ class BalancerConfig:
     #: exploration still fires once decay has eroded predictions enough
     #: to clear the bar.
     hysteresis: float = 0.05
+    #: Enable the overload guardrails: degenerate inputs (non-finite or
+    #: stale counters, every channel saturated, oscillating adoptions)
+    #: hold the last-good weights instead of feeding the optimizer, and
+    #: per-round weight movement is capped at :attr:`max_churn`. Off by
+    #: default — the plain control path is untouched.
+    safe_mode: bool = False
+    #: Smoothed blocking rate (seconds blocked per second) at/above which
+    #: a channel counts as saturated; when *every* live channel is, the
+    #: relative signal carries no information (Section 4.4's overload
+    #: regime) and safe mode holds the weights.
+    safe_saturation: float = 0.9
+    #: Consecutive healthy rounds before safe mode releases its hold.
+    safe_recover_rounds: int = 3
+    #: Per-round cap on total weight movement (units moved, ``None`` =
+    #: uncapped). Applied to regular adoptions in safe mode; emergency
+    #: quarantine re-solves are exempt.
+    max_churn: int | None = None
+    #: Consecutive A->B->A adoption flips before safe mode declares the
+    #: optimizer oscillating and holds the weights.
+    safe_flip_limit: int = 3
 
     def __post_init__(self) -> None:
         if self.resolution <= 1:
             raise ValueError("resolution must exceed 1")
+        check_positive_fraction("rate_alpha", self.rate_alpha)
+        check_positive_fraction("function_alpha", self.function_alpha)
         if not 0.0 <= self.decay < 1.0:
             raise ValueError(f"decay must be in [0, 1), got {self.decay}")
+        if self.max_increase is not None:
+            check_positive("max_increase", self.max_increase)
+        if self.max_decrease is not None:
+            check_positive("max_decrease", self.max_decrease)
         if self.weight_floor < 0:
             raise ValueError("weight_floor must be non-negative")
+        if self.weight_floor > self.resolution:
+            raise ValueError(
+                f"weight_floor {self.weight_floor} exceeds the resolution "
+                f"{self.resolution}: no allocation can grant every "
+                "connection its floor"
+            )
+        check_non_negative("cluster_threshold", self.cluster_threshold)
+        check_positive("delta", self.delta)
         if not 0.0 <= self.hysteresis < 1.0:
             raise ValueError(f"hysteresis must be in [0, 1), got {self.hysteresis}")
         if self.solver not in _SOLVERS:
             raise ValueError(
                 f"unknown solver {self.solver!r}; choose from {sorted(_SOLVERS)}"
             )
+        check_fraction("safe_saturation", self.safe_saturation)
+        check_positive("safe_recover_rounds", self.safe_recover_rounds)
+        if self.max_churn is not None:
+            check_positive("max_churn", self.max_churn)
+        check_positive("safe_flip_limit", self.safe_flip_limit)
 
     @classmethod
     def lb_static(cls, **overrides) -> "BalancerConfig":
@@ -141,6 +187,50 @@ def distribute_evenly(
     return weights
 
 
+def _largest_remainder(amounts: Sequence[float], total: int) -> list[int]:
+    """Integer apportionment of ``total`` proportional to ``amounts``.
+
+    Each share is ``floor`` of its exact value, with the leftover units
+    granted by largest fractional remainder (ties to the lowest index).
+    Deterministic, and each share never exceeds ``ceil(exact)``.
+    """
+    floors = [int(a) for a in amounts]
+    leftover = total - sum(floors)
+    order = sorted(
+        range(len(amounts)), key=lambda j: (floors[j] - amounts[j], j)
+    )
+    for j in order[:leftover]:
+        floors[j] += 1
+    return floors
+
+
+def limit_weight_churn(
+    current: Sequence[int], candidate: Sequence[int], max_churn: int
+) -> list[int]:
+    """Move at most ``max_churn`` weight units from ``current`` toward
+    ``candidate``.
+
+    Movement (the sum of the increases, equal to the sum of the
+    decreases) is scaled down proportionally on both sides, so the
+    result keeps the allocation's sum and lies componentwise between
+    ``current`` and ``candidate`` — every intermediate value satisfies
+    any bounds both endpoints satisfy.
+    """
+    check_positive("max_churn", max_churn)
+    deltas = [c - w for c, w in zip(candidate, current)]
+    movement = sum(d for d in deltas if d > 0)
+    if movement <= max_churn:
+        return list(candidate)
+    scale = max_churn / movement
+    gains = _largest_remainder(
+        [d * scale if d > 0 else 0.0 for d in deltas], max_churn
+    )
+    losses = _largest_remainder(
+        [-d * scale if d < 0 else 0.0 for d in deltas], max_churn
+    )
+    return [w + g - x for w, g, x in zip(current, gains, losses)]
+
+
 class LoadBalancer:
     """The blocking-rate minimax load balancer."""
 
@@ -153,6 +243,14 @@ class LoadBalancer:
             raise ValueError("need at least one connection")
         self.config = config or BalancerConfig()
         self.n_connections = n_connections
+        if self.config.weight_floor * n_connections > self.config.resolution:
+            raise ValueError(
+                f"weight_floor {self.config.weight_floor} across "
+                f"{n_connections} connections requires "
+                f"{self.config.weight_floor * n_connections} weight units, "
+                f"but the resolution is only {self.config.resolution}: "
+                "the floor constraints are infeasible"
+            )
         self.functions = [
             BlockingRateFunction(
                 self.config.resolution,
@@ -172,6 +270,22 @@ class LoadBalancer:
         self.rounds = 0
         #: Channels currently quarantined (weight pinned to zero).
         self._quarantined: set[int] = set()
+        #: Rounds safe mode held the last-good weights (degenerate input
+        #: or recovery hold).
+        self.safe_rounds = 0
+        #: Times safe mode tripped on an oscillating adoption pattern.
+        self.oscillation_trips = 0
+        self._safe_hold = False
+        self._healthy_streak = 0
+        self._last_sample_time: float | None = None
+        #: Weights before the most recent adoption (for flip detection).
+        self._prev_weights: list[int] | None = None
+        self._flip_streak = 0
+
+    @property
+    def in_safe_hold(self) -> bool:
+        """Whether safe mode is currently holding the last-good weights."""
+        return self._safe_hold
 
     @property
     def weights(self) -> list[int]:
@@ -250,11 +364,43 @@ class LoadBalancer:
 
         ``counters`` are the cumulative blocking-time counter values read
         from the transport layer at time ``now``.
+
+        With ``config.safe_mode`` on, degenerate inputs — a non-finite
+        counter or timestamp, a sample whose clock has not advanced, or
+        every live channel saturated past ``safe_saturation`` — never
+        reach the estimator or the rate functions: the round holds the
+        last-good weights instead, and normal control resumes only after
+        ``safe_recover_rounds`` consecutive healthy rounds. Adoptions are
+        additionally filtered for A->B->A oscillation and capped at
+        ``max_churn`` units of movement per round.
         """
+        safe = self.config.safe_mode
+        if safe and not self._counters_sane(now, counters):
+            # Garbage in the control inputs would poison the estimator's
+            # interval state and the rate functions; drop the sample.
+            self._enter_hold()
+            self.rounds += 1
+            return self.weights
+        if safe:
+            self._last_sample_time = now
         rates = self.estimator.sample(now, counters)
         if rates is None:
             return None
         self.last_rates = rates
+        if safe and any(not math.isfinite(r) for r in rates):
+            # Sane counters can still difference to an absurd rate (a huge
+            # delta over a tiny interval overflows); the rate functions
+            # reject non-finite observations, so hold instead of crashing.
+            self._enter_hold()
+            self.rounds += 1
+            return self.weights
+        if safe and self._all_saturated(rates):
+            # Every live channel is blocking flat out: the *relative*
+            # signal the minimax optimizer needs is gone (any allocation
+            # blocks everywhere), so re-solving just chases noise.
+            self._enter_hold()
+            self.rounds += 1
+            return self.weights
         # Every connection's rate is folded in at its current weight —
         # including zeros. Under drafting a zero can be misleading (the
         # draft leader absorbs everyone's blocking), but the per-cell
@@ -280,11 +426,72 @@ class LoadBalancer:
                 if j in quarantined:
                     continue
                 self.functions[j].decay_above(self._weights[j], self.config.decay)
+        if safe and self._safe_hold:
+            # Healthy again, but require a streak before releasing the
+            # hold: one good sample amid degenerate ones proves nothing.
+            self._healthy_streak += 1
+            if self._healthy_streak < self.config.safe_recover_rounds:
+                self.safe_rounds += 1
+                self.rounds += 1
+                return self.weights
+            self._safe_hold = False
+            self._healthy_streak = 0
+            self._flip_streak = 0
         candidate = self._solve()
         if self._accept(candidate):
-            self._weights = candidate
+            adopted = self._guard_adoption(candidate) if safe else candidate
+            if adopted != self._weights:
+                self._prev_weights = list(self._weights)
+                self._weights = adopted
         self.rounds += 1
         return self.weights
+
+    # ------------------------------------------------------------ safe mode
+
+    def _counters_sane(self, now: float, counters: Sequence[float]) -> bool:
+        if not math.isfinite(now):
+            return False
+        if any(not math.isfinite(c) or c < 0 for c in counters):
+            return False
+        # A repeated or rewound timestamp means the sampler is stale;
+        # differencing against it would divide by (at best) zero.
+        # Decreasing *counters* are legal — the transport layer's
+        # periodic reset produces that sawtooth by design.
+        if self._last_sample_time is not None and now <= self._last_sample_time:
+            return False
+        return True
+
+    def _all_saturated(self, rates: Sequence[float]) -> bool:
+        active = [
+            rate
+            for j, rate in enumerate(rates)
+            if j not in self._quarantined
+        ]
+        return bool(active) and min(active) >= self.config.safe_saturation
+
+    def _enter_hold(self) -> None:
+        self._safe_hold = True
+        self._healthy_streak = 0
+        self.safe_rounds += 1
+
+    def _guard_adoption(self, candidate: list[int]) -> list[int]:
+        """Safe mode's adoption filter: oscillation trip, then churn cap."""
+        if self._prev_weights is not None and candidate == self._prev_weights:
+            self._flip_streak += 1
+            if self._flip_streak >= self.config.safe_flip_limit:
+                # The optimizer is ping-ponging between two allocations
+                # it cannot actually distinguish; stop following it.
+                self.oscillation_trips += 1
+                self._flip_streak = 0
+                self._enter_hold()
+                return list(self._weights)
+        else:
+            self._flip_streak = 0
+        if self.config.max_churn is not None:
+            return limit_weight_churn(
+                self._weights, candidate, self.config.max_churn
+            )
+        return candidate
 
     def _accept(self, candidate: list[int]) -> bool:
         """Hysteresis gate: adopt only a meaningfully better allocation.

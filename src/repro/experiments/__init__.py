@@ -13,6 +13,7 @@ from repro.experiments.config import (
     ExperimentConfig,
     HostSpec,
     fault_recovery_scenario,
+    overload_scenario,
 )
 from repro.experiments.oracle import oracle_schedule, proportional_weights
 from repro.experiments.placement_opt import PlacementPlan, plan_placement
@@ -25,6 +26,7 @@ __all__ = [
     "ExperimentConfig",
     "HostSpec",
     "fault_recovery_scenario",
+    "overload_scenario",
     "oracle_schedule",
     "proportional_weights",
     "PlacementPlan",

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.balancer import BalancerConfig
 from repro.faults.recovery import RecoveryConfig
 from repro.faults.schedule import FaultSchedule
+from repro.overload.detector import OverloadConfig
 from repro.streams.hosts import Host, Placement
 from repro.streams.region import RegionParams
 from repro.util.validation import check_positive
@@ -116,6 +117,14 @@ class ExperimentConfig:
     fault_schedule: FaultSchedule = field(default_factory=FaultSchedule.none)
     #: Detection/reintegration tunables, used when faults are scheduled.
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    #: Open-loop offered load in tuples/sec. ``None`` (the default) keeps
+    #: the paper's pull-based saturating source; a rate decouples demand
+    #: from capacity, which is how overload experiments offer more than
+    #: the region can serve.
+    arrival_rate: float | None = None
+    #: Detection/shedding/flow-control tunables, used when
+    #: ``region.overload_protection`` is on.
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
 
     def __post_init__(self) -> None:
         check_positive("n_workers", self.n_workers)
@@ -144,6 +153,13 @@ class ExperimentConfig:
         if self.total_tuples is None and self.duration is None:
             raise ValueError("set total_tuples and/or duration")
         check_positive("sample_interval", self.sample_interval)
+        if self.arrival_rate is not None:
+            check_positive("arrival_rate", self.arrival_rate)
+        if self.fault_schedule.bursts and self.arrival_rate is None:
+            raise ValueError(
+                "overload bursts scale an open-loop source: set "
+                "arrival_rate"
+            )
         self.fault_schedule.validate(self.n_workers)
         if not self.fault_schedule.empty() and not self.region.fault_tolerant:
             self.region.fault_tolerant = True
@@ -187,7 +203,14 @@ class ExperimentConfig:
             + list(self.load_schedule.initial.values())
         )
         per_tuple = self.tuple_cost * worst_multiplier / slowest
-        return 10.0 + 2.0 * self.total_tuples * per_tuple
+        bound = 10.0 + 2.0 * self.total_tuples * per_tuple
+        if self.arrival_rate is not None:
+            # An open-loop source also paces the run: the budget cannot
+            # drain faster than it arrives.
+            bound = max(
+                bound, 10.0 + 2.0 * self.total_tuples / self.arrival_rate
+            )
+        return bound
 
     def with_name(self, name: str) -> "ExperimentConfig":
         """Copy with a different name (sweeps reuse one template)."""
@@ -230,4 +253,60 @@ def fault_recovery_scenario(
             crash_worker, at=crash_at, restart_after=restart_after
         ),
         recovery=RecoveryConfig(gap_policy=gap_policy),
+    )
+
+
+def overload_scenario(
+    *,
+    n_workers: int = 4,
+    overload_factor: float = 2.0,
+    duration: float = 120.0,
+    shedding: str = "probabilistic",
+    protection: bool = True,
+    burst: tuple[float, float, float] | None = None,
+    seed: int = 0,
+) -> ExperimentConfig:
+    """The canonical overload experiment: sustained demand past capacity.
+
+    A homogeneous region with an aggregate capacity of ``20 * n_workers``
+    tuples/sec faces an open-loop arrival stream at ``overload_factor``
+    times that (2x by default — the regime where, unprotected, the input
+    queue grows by a full capacity's worth every second). With
+    ``protection=True`` the overload layer sheds the excess before
+    sequence assignment, flow-controls the merger's reordering memory,
+    and runs the balancer in safe mode; with ``protection=False`` the
+    same offered load runs bare, which is the degradation contrast the
+    acceptance criteria (and ``bench_overload_degradation``) measure.
+
+    ``burst`` optionally schedules an extra ``(at, factor, duration)``
+    demand burst on top via the fault layer's
+    :class:`~repro.faults.schedule.OverloadBurstEvent`.
+    """
+    check_positive("overload_factor", overload_factor)
+    speed = 2e5
+    tuple_cost = 10_000  # 0.05 s per tuple -> 20 tuples/sec per worker
+    capacity = n_workers * speed / tuple_cost
+    fault_schedule = FaultSchedule.none()
+    if burst is not None:
+        at, factor, burst_duration = burst
+        fault_schedule = FaultSchedule.overload_burst(
+            at, factor, duration=burst_duration
+        )
+    suffix = "" if protection else "-unprotected"
+    return ExperimentConfig(
+        name=f"overload-{shedding}{suffix}",
+        n_workers=n_workers,
+        tuple_cost=tuple_cost,
+        host_specs=[HostSpec("slow", thread_speed=speed)],
+        worker_host=[0] * n_workers,
+        duration=duration,
+        arrival_rate=overload_factor * capacity,
+        # Ingest far above any offered rate: the splitter must never be
+        # the bottleneck, or blocking would measure the splitter instead
+        # of the workers.
+        splitter_cost_multiplies=speed / (8.0 * overload_factor * capacity),
+        region=RegionParams(overload_protection=protection),
+        overload=OverloadConfig(shedding=shedding, seed=seed),
+        balancer=BalancerConfig(safe_mode=protection, max_churn=150),
+        fault_schedule=fault_schedule,
     )

@@ -23,6 +23,9 @@ class SweepRow:
     execution_time: float | None
     final_throughput: float
     normalized_time: float | None = None
+    #: Fraction of offered tuples shed by admission control (0.0 for
+    #: closed-loop runs; meaningful in overload sweeps).
+    shed_ratio: float = 0.0
 
     @classmethod
     def from_result(cls, result: RunResult) -> "SweepRow":
@@ -31,6 +34,7 @@ class SweepRow:
             policy=result.policy,
             execution_time=result.execution_time,
             final_throughput=result.final_throughput(),
+            shed_ratio=result.shed_ratio(),
         )
 
 

@@ -37,9 +37,15 @@ from repro.experiments.oracle import (
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RecoveryCoordinator
+from repro.overload.manager import OverloadManager
 from repro.sim.engine import Simulator
 from repro.streams.region import ParallelRegion
-from repro.streams.sources import FiniteSource, InfiniteSource, constant_cost
+from repro.streams.sources import (
+    FiniteSource,
+    InfiniteSource,
+    RatedSource,
+    constant_cost,
+)
 from repro.util.timeseries import TimeSeries
 
 POLICIES = ("rr", "reroute", "lb-static", "lb-adaptive", "oracle", "fixed")
@@ -94,6 +100,39 @@ class RunResult:
     #: Wall-clock seconds the run took (performance diagnostic; excluded
     #: from any result digest — it varies run to run).
     wall_seconds: float = 0.0
+    #: Open-loop arrivals offered to the region (0 without arrival_rate).
+    tuples_offered: int = 0
+    #: Arrivals shed by admission control before sequence assignment.
+    tuples_shed: int = 0
+    #: Peak source backlog — the input-queue memory bound.
+    max_input_queue: int = 0
+    #: Peak merger reordering-buffer occupancy.
+    max_merger_pending: int = 0
+    #: Flow-control pause episodes (merger -> splitter backpressure).
+    flow_pauses: int = 0
+    #: Simulated seconds the splitter spent paused by flow control.
+    flow_paused_seconds: float = 0.0
+    #: Overload-detector trips (healthy -> overloaded transitions).
+    overload_trips: int = 0
+    #: Simulated seconds the detector declared the region overloaded.
+    overload_seconds: float = 0.0
+    #: Control rounds the balancer's safe mode held the last-good weights.
+    safe_mode_rounds: int = 0
+    #: Times the balancer's safe mode tripped on oscillating adoptions.
+    oscillation_trips: int = 0
+    #: Source backlog over time (None unless the run tracked overload).
+    queue_series: TimeSeries | None = None
+    #: Merger pending occupancy over time (None unless tracked).
+    pending_series: TimeSeries | None = None
+    #: p99 end-to-end latency of tuples emitted per interval (None unless
+    #: overload protection enabled the per-emit latency samples).
+    p99_latency_series: TimeSeries | None = None
+
+    def shed_ratio(self) -> float:
+        """Fraction of offered tuples shed before sequence assignment."""
+        if self.tuples_offered == 0:
+            return 0.0
+        return self.tuples_shed / self.tuples_offered
 
     def events_per_second(self) -> float:
         """Fired simulator events per wall-clock second."""
@@ -158,6 +197,15 @@ class RunResult:
                 f"(detect={ttq}, reconverge={ttr}), "
                 f"replayed={self.tuples_replayed}, lost={self.tuples_lost}"
             )
+        if self.tuples_offered:
+            lines.append(
+                f"  offered={self.tuples_offered}, "
+                f"shed={self.tuples_shed} ({self.shed_ratio():.1%}), "
+                f"max_queue={self.max_input_queue}, "
+                f"max_pending={self.max_merger_pending}, "
+                f"flow_pauses={self.flow_pauses}, "
+                f"overloaded={self.overload_seconds:.1f}s"
+            )
         return "\n".join(lines)
 
 
@@ -182,7 +230,13 @@ def run_experiment(
     sim = Simulator()
     placement = config.build_placement()
     cost_model = constant_cost(config.tuple_cost)
-    if config.total_tuples is not None:
+    rated_source: RatedSource | None = None
+    if config.arrival_rate is not None:
+        rated_source = RatedSource(
+            config.arrival_rate, cost_model, total=config.total_tuples
+        )
+        source = rated_source
+    elif config.total_tuples is not None:
         source = FiniteSource(config.total_tuples, cost_model)
     else:
         source = InfiniteSource(cost_model)
@@ -236,6 +290,22 @@ def run_experiment(
         )
         recovery.start()
         config.fault_schedule.arm(sim, injector)
+
+    # Overload management: only built when protection is on, so plain
+    # runs execute exactly the seed's code path (golden traces). The
+    # rated source itself is armed either way — an open-loop arrival
+    # process is a workload choice, not a protection feature.
+    overload_mgr: OverloadManager | None = None
+    if config.region.overload_protection:
+        overload_mgr = OverloadManager(
+            sim, region, source=rated_source, config=config.overload
+        )
+        overload_mgr.start()
+        region.merger.latency_samples = []
+    if rated_source is not None:
+        rated_source.arm(
+            sim, on_available=region.splitter.notify_available
+        )
 
     if oracle is not None:
         for when, weights in oracle.changes_after(0.0):
@@ -314,6 +384,10 @@ def run_experiment(
     weight_series = [TimeSeries(f"weight[{j}]") for j in range(n)]
     rate_series = [TimeSeries(f"blocking_rate[{j}]") for j in range(n)]
     cluster_snapshots: list[tuple[float, list[list[int]]]] = []
+    track_overload = rated_source is not None or overload_mgr is not None
+    queue_series = TimeSeries("input_queue") if track_overload else None
+    pending_series = TimeSeries("merger_pending") if track_overload else None
+    p99_series = TimeSeries("p99_latency") if track_overload else None
     last_emitted = 0
     last_latency_sum = 0.0
     last_latency_count = 0
@@ -358,6 +432,24 @@ def run_experiment(
             for j in range(n):
                 weight_series[j].record(now, weights[j])
                 rate_series[j].record(now, rates[j])
+
+        if track_overload:
+            # Drain per-emit latency samples every interval regardless of
+            # record_series — the list must stay bounded over long runs.
+            samples = region.merger.latency_samples
+            p99: float | None = None
+            if samples:
+                samples.sort()
+                p99 = samples[int(0.99 * (len(samples) - 1))]
+                samples.clear()
+            if record_series:
+                backlog = (
+                    rated_source.backlog() if rated_source is not None else 0
+                )
+                queue_series.record(now, backlog)
+                pending_series.record(now, region.merger.pending_count)
+                if p99 is not None:
+                    p99_series.record(now, p99)
 
     sim.call_every(config.sample_interval, sample)
 
@@ -414,4 +506,33 @@ def run_experiment(
         tuples_lost=region.merger.tuples_lost,
         events_processed=sim.events_processed,
         wall_seconds=wall_seconds,
+        tuples_offered=(
+            rated_source.arrivals if rated_source is not None else 0
+        ),
+        tuples_shed=(
+            rated_source.tuples_shed if rated_source is not None else 0
+        ),
+        max_input_queue=(
+            rated_source.max_backlog if rated_source is not None else 0
+        ),
+        max_merger_pending=region.merger.max_pending,
+        flow_pauses=(
+            overload_mgr.gate.pauses if overload_mgr is not None else 0
+        ),
+        flow_paused_seconds=region.splitter.flow_paused_seconds,
+        overload_trips=(
+            overload_mgr.detector.trips if overload_mgr is not None else 0
+        ),
+        overload_seconds=(
+            overload_mgr.detector.overloaded_seconds
+            if overload_mgr is not None
+            else 0.0
+        ),
+        safe_mode_rounds=balancer.safe_rounds if balancer is not None else 0,
+        oscillation_trips=(
+            balancer.oscillation_trips if balancer is not None else 0
+        ),
+        queue_series=queue_series,
+        pending_series=pending_series,
+        p99_latency_series=p99_series,
     )

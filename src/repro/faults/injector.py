@@ -135,7 +135,33 @@ class FaultInjector:
             pe.set_load_multiplier(pe.load_multiplier / multiplier)
         self._record("slowdown_end", None, detail=f"{host} /{multiplier:g}")
 
+    def overload_burst(self, factor: float) -> None:
+        """Multiply the offered arrival rate by ``factor`` (burst start).
+
+        The demand-side fault: nothing inside the region breaks, but the
+        open-loop source now offers ``factor`` times the load. Requires a
+        :class:`~repro.streams.sources.RatedSource` at the front.
+        """
+        check_positive("factor", factor)
+        self._rated_source().scale_rate(factor)
+        self._record("overload", None, detail=f"x{factor:g}")
+
+    def end_overload_burst(self, factor: float) -> None:
+        """Undo a previous :meth:`overload_burst` of the same ``factor``."""
+        check_positive("factor", factor)
+        self._rated_source().scale_rate(1.0 / factor)
+        self._record("overload_end", None, detail=f"/{factor:g}")
+
     # ------------------------------------------------------------- internal
+
+    def _rated_source(self):
+        source = self.region.splitter.source
+        if not hasattr(source, "scale_rate"):
+            raise ValueError(
+                "overload bursts require an open-loop RatedSource at the "
+                "region's front (set ExperimentConfig.arrival_rate)"
+            )
+        return source
 
     def _host_workers(self, host: str):
         workers = [

@@ -202,7 +202,10 @@ class RecoveryCoordinator:
                 self.routing.set_weights(weights)
         replay = config.gap_policy == "replay"
         replayed_before = region.splitter.tuples_replayed
-        lost = region.fail_channel(channel, replay=replay)
+        # allow_stall: quarantining the last live channel parks the
+        # splitter, but this coordinator's heartbeat will reintegrate the
+        # channel once it recovers — the stall is temporary by design.
+        lost = region.fail_channel(channel, replay=replay, allow_stall=True)
         replayed = region.splitter.tuples_replayed - replayed_before
         if lost:
             # Bounded-timeout skip: give stragglers a grace period, then

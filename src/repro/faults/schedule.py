@@ -21,6 +21,12 @@ Supported faults:
 * :class:`CountCrashEvent` — a crash triggered by merger progress rather
   than wall time, mirroring the paper's "an eighth through the
   experiment" style of trigger.
+* :class:`OverloadBurstEvent` — the *demand-side* fault: the offered
+  arrival rate multiplies by ``factor`` for ``duration`` seconds.
+  Requires an open-loop :class:`~repro.streams.sources.RatedSource`
+  (``ExperimentConfig.arrival_rate``); together with
+  ``RegionParams(overload_protection=True)`` this exercises the
+  overload-management layer the way crashes exercise recovery.
 """
 
 from __future__ import annotations
@@ -103,6 +109,25 @@ class CountCrashEvent:
             check_positive("restart_after", self.restart_after)
 
 
+@dataclass(slots=True, frozen=True)
+class OverloadBurstEvent:
+    """At ``time``, multiply the offered rate by ``factor`` for ``duration``.
+
+    ``duration=None`` makes the burst permanent (a sustained-overload
+    step). ``factor`` below 1 models a demand drop.
+    """
+
+    time: float
+    factor: float
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        check_non_negative("time", self.time)
+        check_positive("factor", self.factor)
+        if self.duration is not None:
+            check_positive("duration", self.duration)
+
+
 @dataclass(slots=True)
 class FaultSchedule:
     """Declarative timed + progress-triggered faults for one run."""
@@ -111,6 +136,7 @@ class FaultSchedule:
     stalls: list[StallEvent] = field(default_factory=list)
     slowdowns: list[SlowdownEvent] = field(default_factory=list)
     count_crashes: list[CountCrashEvent] = field(default_factory=list)
+    bursts: list[OverloadBurstEvent] = field(default_factory=list)
 
     @classmethod
     def none(cls) -> "FaultSchedule":
@@ -138,10 +164,21 @@ class FaultSchedule:
         """Crash triggered by run progress instead of wall time."""
         return cls(count_crashes=[CountCrashEvent(emitted, worker, restart_after)])
 
+    @classmethod
+    def overload_burst(
+        cls, at: float, factor: float, *, duration: float | None = None
+    ) -> "FaultSchedule":
+        """One offered-rate burst (``duration=None`` = sustained step)."""
+        return cls(bursts=[OverloadBurstEvent(at, factor, duration)])
+
     def empty(self) -> bool:
         """Whether the schedule contains no fault at all."""
         return not (
-            self.crashes or self.stalls or self.slowdowns or self.count_crashes
+            self.crashes
+            or self.stalls
+            or self.slowdowns
+            or self.count_crashes
+            or self.bursts
         )
 
     def max_worker(self) -> int:
@@ -193,4 +230,14 @@ class FaultSchedule:
                 sim.call_at(
                     event.time + event.duration,
                     lambda e=event: injector.end_slowdown(e.host, e.multiplier),
+                )
+        for event in self.bursts:
+            sim.call_at(
+                event.time,
+                lambda e=event: injector.overload_burst(e.factor),
+            )
+            if event.duration is not None:
+                sim.call_at(
+                    event.time + event.duration,
+                    lambda e=event: injector.end_overload_burst(e.factor),
                 )

@@ -28,6 +28,7 @@ import time
 from collections.abc import Sequence
 
 from repro.net.blocking import BlockingCounter
+from repro.streams.splitter import RegionStalledError
 from repro.util.validation import check_positive
 
 #: MSG_DONTWAIT is Linux-specific; with a non-blocking socket the flag is
@@ -227,6 +228,7 @@ class SocketMiniRegion:
         self.join_timeout = float(join_timeout)
         self.senders: list[BlockingSocketSender] = []
         self.workers: list[_SocketWorker] = []
+        self._closed = False
         for service in service_times:
             left, right = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
             for sock in (left, right):
@@ -253,13 +255,20 @@ class SocketMiniRegion:
             self.senders[policy.next_connection()].send(self.frame)
 
     def close(self) -> None:
-        """Shut the region down and join the workers.
+        """Shut the region down and join the workers. Idempotent.
 
         A worker that fails to exit within ``join_timeout`` or that died
         with an exception is an error, not a silent leak: the first
         stashed worker failure is re-raised, and stuck workers raise
-        :class:`RuntimeError` naming them. Sockets are closed either way.
+        :class:`~repro.streams.splitter.RegionStalledError` naming them.
+        Sockets are closed either way, and a second :meth:`close` is a
+        no-op — failures already reported once are not re-raised (the
+        common ``with``-block pattern closes once in the body on error
+        and once again in ``__exit__``).
         """
+        if self._closed:
+            return
+        self._closed = True
         for sender in self.senders:
             try:
                 sender.sock.shutdown(socket.SHUT_WR)
@@ -278,7 +287,7 @@ class SocketMiniRegion:
             if worker._failure is not None:
                 raise worker._failure
         if stuck:
-            raise RuntimeError(
+            raise RegionStalledError(
                 f"workers {stuck} did not exit within "
                 f"{self.join_timeout:g}s of shutdown"
             )

@@ -1,0 +1,52 @@
+"""Overload management for ordered parallel regions.
+
+The paper's model (and PR 2's fault layer) assume aggregate demand stays
+below aggregate capacity; in the overload regime every blocking rate is
+positive, the splitter's input queue and the ordered merger's reordering
+buffer grow without bound, and the balancer chases saturated noise. This
+package treats overload as a first-class state instead of an error, in
+three coordinated layers:
+
+* **detection** (:mod:`repro.overload.detector`) — an
+  :class:`OverloadDetector` fed by splitter blocking rates, input-queue
+  growth, and the merger pending watermark, with trip/clear hysteresis so
+  transient bursts don't flap it;
+* **admission control** (:mod:`repro.overload.admission`) — pluggable
+  shedding policies applied at the source *before* sequence assignment,
+  so the admitted stream stays gap-free and ordered-merge semantics are
+  untouched;
+* **flow control** (:mod:`repro.overload.flow`) — credit-based
+  backpressure from the merger's pending buffer to the splitter, bounding
+  merger memory when skewed or late channels inflate reordering.
+
+:class:`OverloadManager` wires all three against a
+:class:`~repro.streams.region.ParallelRegion`; construction requires
+``RegionParams(overload_protection=True)``, mirroring how the fault layer
+gates on ``fault_tolerant`` — with protection off, no hook is installed
+and golden determinism traces are byte-identical.
+"""
+
+from repro.overload.admission import (
+    AdmissionController,
+    DropTailShedding,
+    PriorityShedding,
+    ProbabilisticShedding,
+    SheddingPolicy,
+    build_shedding_policy,
+)
+from repro.overload.detector import OverloadConfig, OverloadDetector
+from repro.overload.flow import FlowControlGate
+from repro.overload.manager import OverloadManager
+
+__all__ = [
+    "AdmissionController",
+    "DropTailShedding",
+    "FlowControlGate",
+    "OverloadConfig",
+    "OverloadDetector",
+    "OverloadManager",
+    "PriorityShedding",
+    "ProbabilisticShedding",
+    "SheddingPolicy",
+    "build_shedding_policy",
+]

@@ -1,0 +1,56 @@
+"""Credit-based flow control between the merger and the splitter.
+
+The ordered merger's reordering buffer is unbounded by design (the paper
+blocks at the splitter, not the merger) — its occupancy is normally
+bounded by the connections' bounded buffers, but a skewed allocation or
+a late channel can still park hundreds of tuples behind one missing
+sequence number. The gate turns that into explicit backpressure: when
+the merger's pending count crosses ``high`` the splitter pauses *before
+pulling the next tuple* (never mid-send, so no tuple is stranded), and
+resumes once pending drains to ``low``. Two watermarks instead of one
+make the pause/resume cycle hysteretic rather than a flap per tuple.
+
+The gate is observer-agnostic: the merger calls :meth:`update` with its
+pending count, the splitter polls :attr:`paused` and registers
+``on_resume``. Nothing here schedules simulator events, so a gate that
+never pauses leaves the event stream untouched.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+
+class FlowControlGate:
+    """High/low-watermark pause signal from a consumer to a producer."""
+
+    def __init__(self, high: int, low: int) -> None:
+        if high <= 0:
+            raise ValueError(f"high watermark must be positive, got {high}")
+        if not 0 <= low < high:
+            raise ValueError(
+                f"low watermark must be in [0, high={high}), got {low}"
+            )
+        self.high = int(high)
+        self.low = int(low)
+        #: Whether the producer should hold off.
+        self.paused = False
+        #: Pause episodes so far.
+        self.pauses = 0
+        #: Invoked on the healthy->paused edge.
+        self.on_pause: Callable[[], None] | None = None
+        #: Invoked on the paused->resumed edge.
+        self.on_resume: Callable[[], None] | None = None
+
+    def update(self, level: int) -> None:
+        """Feed the consumer's current occupancy; fires edge callbacks."""
+        if not self.paused:
+            if level >= self.high:
+                self.paused = True
+                self.pauses += 1
+                if self.on_pause is not None:
+                    self.on_pause()
+        elif level <= self.low:
+            self.paused = False
+            if self.on_resume is not None:
+                self.on_resume()

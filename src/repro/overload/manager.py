@@ -1,0 +1,115 @@
+"""The overload manager: wires detection, shedding, and flow control.
+
+One object per region, analogous to the fault layer's
+:class:`~repro.faults.recovery.RecoveryCoordinator`: construct it with
+the region (and the :class:`~repro.streams.sources.RatedSource` when
+admission control is wanted), call :meth:`start`, and it
+
+* installs the merger->splitter :class:`FlowControlGate` at the
+  configured pending watermarks,
+* installs an :class:`AdmissionController` with the configured shedding
+  policy on the source (sheds happen before sequence assignment), and
+* runs the :class:`OverloadDetector` every ``check_interval`` simulated
+  seconds on the live signals (source backlog, merger pending, lifetime
+  blocking counters — the lifetime totals survive the transport layer's
+  periodic counter resets).
+
+Construction refuses a region without
+``RegionParams(overload_protection=True)``: protection must be an
+explicit choice, and with it off no hook exists anywhere on the hot
+path, keeping golden determinism traces byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.overload.admission import AdmissionController, build_shedding_policy
+from repro.overload.detector import OverloadConfig, OverloadDetector
+from repro.overload.flow import FlowControlGate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.streams.region import ParallelRegion
+    from repro.streams.sources import RatedSource
+
+
+class OverloadManager:
+    """Keeps a region stable and memory-bounded past its capacity."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        region: "ParallelRegion",
+        *,
+        source: "RatedSource | None" = None,
+        config: OverloadConfig | None = None,
+    ) -> None:
+        if not region.params.overload_protection:
+            raise ValueError(
+                "overload management requires "
+                "RegionParams(overload_protection=True)"
+            )
+        self.sim = sim
+        self.region = region
+        self.config = config or OverloadConfig()
+        self.source = source
+        self.detector = OverloadDetector(self.config)
+        self.gate = FlowControlGate(
+            self.config.pending_high, self.config.pending_low
+        )
+        region.merger.attach_flow_gate(self.gate)
+        region.splitter.attach_flow_gate(self.gate)
+        self.admission: AdmissionController | None = None
+        if source is not None:
+            policy = build_shedding_policy(self.config)
+            if policy is not None:
+                self.admission = AdmissionController(policy, self.detector)
+                source.admission = self.admission
+        self._cancel = None
+
+    def start(self, first: float | None = None) -> None:
+        """Begin the periodic detector check."""
+        if self._cancel is not None:
+            raise RuntimeError("overload manager already started")
+        self._cancel = self.sim.call_every(
+            self.config.check_interval, self._check, start=first
+        )
+
+    def stop(self) -> None:
+        """Cancel the periodic check."""
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    # -------------------------------------------------------------- metrics
+
+    @property
+    def tuples_offered(self) -> int:
+        """Arrivals seen by admission control (0 without a rated source)."""
+        return self.admission.offered if self.admission is not None else 0
+
+    @property
+    def tuples_shed(self) -> int:
+        """Tuples shed before sequence assignment."""
+        return self.admission.shed if self.admission is not None else 0
+
+    def shed_ratio(self) -> float:
+        """Fraction of offered tuples shed."""
+        if self.admission is None:
+            return 0.0
+        return self.admission.shed_ratio()
+
+    # ------------------------------------------------------------- internal
+
+    def _check(self) -> None:
+        backlog = self.source.backlog() if self.source is not None else 0
+        counters = [
+            c.lifetime_seconds for c in self.region.blocking_counters
+        ]
+        self.detector.observe(
+            self.sim.now,
+            backlog=backlog,
+            pending=self.region.merger.pending_count,
+            counters=counters,
+        )

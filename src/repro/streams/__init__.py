@@ -28,8 +28,13 @@ from repro.streams.operators import (
 )
 from repro.streams.pe import WorkerPE
 from repro.streams.region import ParallelRegion, RegionParams
-from repro.streams.sources import FiniteSource, InfiniteSource, TupleSource
-from repro.streams.splitter import Splitter
+from repro.streams.sources import (
+    FiniteSource,
+    InfiniteSource,
+    RatedSource,
+    TupleSource,
+)
+from repro.streams.splitter import RegionStalledError, Splitter
 from repro.streams.tuples import StreamTuple
 
 __all__ = [
@@ -53,7 +58,9 @@ __all__ = [
     "RegionParams",
     "FiniteSource",
     "InfiniteSource",
+    "RatedSource",
     "TupleSource",
+    "RegionStalledError",
     "Splitter",
     "StreamTuple",
 ]

@@ -74,6 +74,12 @@ class OrderedMerger:
         self.tuples_lost = 0
         #: Tuples that arrived after their seq had been declared lost.
         self.late_arrivals = 0
+        #: Merger->splitter backpressure gate (overload protection only).
+        self._flow_gate = None
+        #: When set (overload protection), per-emit end-to-end latencies
+        #: are appended here; the experiment sampler drains it per
+        #: interval to track p99 over time.
+        self.latency_samples: list[float] | None = None
 
     @property
     def next_seq(self) -> int:
@@ -84,6 +90,15 @@ class OrderedMerger:
     def pending_count(self) -> int:
         """Tuples held back waiting for predecessors."""
         return len(self._pending)
+
+    def attach_flow_gate(self, gate) -> None:
+        """Report pending-buffer occupancy to a flow-control ``gate``.
+
+        The gate is updated after every batch of accepts/skips; when
+        occupancy crosses the gate's high watermark the splitter stops
+        pulling tuples until it drains to the low one.
+        """
+        self._flow_gate = gate
 
     def on_completion(self, target: int, callback: Callable[[], None]) -> None:
         """Invoke ``callback`` once ``target`` tuples have been disposed of.
@@ -127,6 +142,8 @@ class OrderedMerger:
             self._emit(ready)
         if self._lost and self._next_seq in self._lost:
             self._advance_past_lost()
+        if self._flow_gate is not None:
+            self._flow_gate.update(len(pending))
 
     def mark_lost(self, seqs: "Iterable[int]") -> int:
         """Declare ``seqs`` lost: never wait for them (skip gap policy).
@@ -145,6 +162,8 @@ class OrderedMerger:
                 marked += 1
         if self._lost and self._next_seq in self._lost:
             self._advance_past_lost()
+        if self._flow_gate is not None:
+            self._flow_gate.update(len(self._pending))
         return marked
 
     def _advance_past_lost(self) -> None:
@@ -172,6 +191,8 @@ class OrderedMerger:
         if tup.born_at is not None:
             self.latency_seconds += now - tup.born_at
             self.latency_count += 1
+            if self.latency_samples is not None:
+                self.latency_samples.append(now - tup.born_at)
         if self.on_emit is not None:
             self.on_emit(tup)
         self._check_completion()
@@ -212,6 +233,11 @@ class UnorderedMerger(OrderedMerger):
 
     def accept(self, worker_id: int, tup: StreamTuple) -> None:
         """Forward ``tup`` downstream immediately."""
+        if tup.seq in self._skipped:
+            # Declared lost (skip gap policy) and already counted toward
+            # completion — a straggling arrival is a drop, not an error.
+            self.late_arrivals += 1
+            return
         if tup.seq in self._seen:
             raise SequenceError(f"tuple seq {tup.seq} delivered twice")
         self._seen.add(tup.seq)
@@ -219,6 +245,26 @@ class UnorderedMerger(OrderedMerger):
             self.received_per_worker.get(worker_id, 0) + 1
         )
         self._emit(tup)
+
+    def mark_lost(self, seqs: "Iterable[int]") -> int:
+        """Count ``seqs`` as lost (skip gap policy), without ordering.
+
+        The ordered implementation defers the count until the gap is
+        reached in sequence order; without sequential semantics there is
+        no gap to wait behind, so never-seen seqs are counted (toward
+        completion targets) immediately. Already-emitted seqs are not
+        lost and are ignored.
+        """
+        marked = 0
+        for seq in seqs:
+            if seq in self._seen or seq in self._skipped:
+                continue
+            self._skipped.add(seq)
+            self.tuples_lost += 1
+            marked += 1
+        if marked:
+            self._check_completion()
+        return marked
 
     def __init__(self, sim, *, on_emit=None) -> None:
         super().__init__(sim, on_emit=on_emit)

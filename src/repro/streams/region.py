@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING
 from repro.net.connection import SimulatedConnection
 from repro.streams.merger import OrderedMerger, UnorderedMerger
 from repro.streams.pe import WorkerPE
-from repro.streams.splitter import RoutingPolicy, Splitter
+from repro.streams.splitter import RegionStalledError, RoutingPolicy, Splitter
 from repro.util.validation import check_non_negative, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -52,6 +52,12 @@ class RegionParams:
     #: :class:`~repro.net.connection.SimulatedConnection`); semantics are
     #: identical either way, batching just schedules fewer events.
     batch_transfers: bool = True
+    #: Allow the overload-management layer (:mod:`repro.overload`) to
+    #: attach: admission control at the source, merger->splitter flow
+    #: control, and the overload detector. Off by default — with it off
+    #: no hook is installed and golden traces are byte-identical to a
+    #: region without overload support.
+    overload_protection: bool = False
     send_overhead: float = 1e-5
     #: Relative service-time noise per worker (0 = deterministic; see
     #: :class:`~repro.streams.pe.WorkerPE`). Seeded by ``seed``.
@@ -164,7 +170,9 @@ class ParallelRegion:
 
     # ------------------------------------------------------------- recovery
 
-    def fail_channel(self, channel: int, *, replay: bool = True) -> list[int]:
+    def fail_channel(
+        self, channel: int, *, replay: bool = True, allow_stall: bool = False
+    ) -> list[int]:
         """Kill channel ``channel`` end to end and recover its tuples.
 
         Halts the worker (revoking any tuple in service — it is still in
@@ -172,6 +180,11 @@ class ParallelRegion:
         in-flight tuples, and queues every unacknowledged tuple for replay
         to the surviving channels. With ``replay=False`` (the *skip* gap
         policy) nothing is replayed and the sequence numbers are returned.
+
+        Failing the last live channel raises
+        :class:`~repro.streams.splitter.RegionStalledError` before any
+        state changes, unless ``allow_stall=True`` promises a later
+        :meth:`restore_channel` (the recovery layer's case).
 
         Returns the sequence numbers that will **not** be replayed; the
         caller must route them to :meth:`OrderedMerger.mark_lost` (after
@@ -181,9 +194,25 @@ class ParallelRegion:
             raise RuntimeError(
                 "fail_channel requires RegionParams(fault_tolerant=True)"
             )
+        splitter = self.splitter
+        if (
+            not allow_stall
+            and splitter.live[channel]
+            and sum(splitter.live) <= 1
+        ):
+            # Check before halting the worker: the splitter's own guard
+            # would fire only after this method has mutated the channel.
+            raise RegionStalledError(
+                f"failing channel {channel} leaves no live channel: the "
+                "region is stalled. Restore another channel first, or "
+                "pass allow_stall=True if a recovery layer will restore "
+                "one later."
+            )
         self.workers[channel].halt()
         self.connections[channel].fail()
-        _, lost = self.splitter.fail_channel(channel, replay=replay)
+        _, lost = splitter.fail_channel(
+            channel, replay=replay, allow_stall=allow_stall
+        )
         return lost
 
     def restore_channel(self, channel: int) -> None:

@@ -54,6 +54,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.streams.tuples import StreamTuple
 
 
+class RegionStalledError(RuntimeError):
+    """The region can make no progress: every channel is dead.
+
+    Raised by :meth:`Splitter.fail_channel` when failing a channel would
+    leave no live survivor to carry traffic (pass ``allow_stall=True``
+    when a recovery layer will restore one later), and by the socket
+    transport when workers wedge and cannot be joined at close.
+    """
+
+
 @runtime_checkable
 class RoutingPolicy(Protocol):
     """What the splitter needs from a routing policy.
@@ -114,11 +124,19 @@ class Splitter:
         self.retransmit_dropped = 0
         #: Per-connection retransmit cap (``None`` = unbounded).
         self.retransmit_capacity = retransmit_capacity
+        #: Simulated seconds spent paused by merger flow control.
+        self.flow_paused_seconds = 0.0
         self._pending: "StreamTuple | None" = None
         self._target: int | None = None
         self._block_start: float | None = None
         self._started = False
         self._parked_no_live = False
+        #: Parked because an open-loop source is between arrivals.
+        self._parked_idle = False
+        #: Merger->splitter backpressure gate (overload protection only).
+        self._flow_gate = None
+        self._parked_flow = False
+        self._flow_park_start: float | None = None
         #: Replay queue, consumed before the source.
         self._replay: "deque[StreamTuple]" = deque()
         #: Per-connection sent-but-unacknowledged tuples (FIFO in send
@@ -148,6 +166,33 @@ class Splitter:
             raise RuntimeError("splitter already started")
         self._started = True
         self.sim.call_at(at, self._try_send)
+
+    # ------------------------------------------------- overload protection
+
+    def attach_flow_gate(self, gate) -> None:
+        """Install a merger->splitter backpressure gate.
+
+        While the gate is paused the splitter stops *pulling* new tuples
+        (a tuple already pending is still delivered — pausing mid-send
+        would strand it); the gate's resume edge restarts the loop.
+        """
+        self._flow_gate = gate
+        gate.on_resume = self._flow_resumed
+
+    def notify_available(self) -> None:
+        """Wake a splitter parked on an idle (between-arrivals) source."""
+        if self._parked_idle:
+            self._parked_idle = False
+            self.sim.schedule_after(0.0, self._try_send_cb)
+
+    def _flow_resumed(self) -> None:
+        if not self._parked_flow:
+            return
+        self._parked_flow = False
+        if self._flow_park_start is not None:
+            self.flow_paused_seconds += self.sim.now - self._flow_park_start
+            self._flow_park_start = None
+        self.sim.schedule_after(0.0, self._try_send_cb)
 
     # ------------------------------------------------------------- recovery
 
@@ -191,7 +236,7 @@ class Splitter:
         )
 
     def fail_channel(
-        self, channel: int, *, replay: bool = True
+        self, channel: int, *, replay: bool = True, allow_stall: bool = False
     ) -> tuple[int, list[int]]:
         """Declare ``channel`` dead and recover its in-flight tuples.
 
@@ -202,6 +247,13 @@ class Splitter:
         unacknowledged tuple). The caller routes ``lost_seqs`` to
         :meth:`~repro.streams.merger.OrderedMerger.mark_lost` so the
         merger never waits forever on them.
+
+        Failing the *last* live channel raises
+        :class:`RegionStalledError` before any state changes: without a
+        survivor there is nowhere to replay and the splitter would park
+        forever with no prospect of waking. A recovery layer that will
+        restore a channel later (so the park is temporary) passes
+        ``allow_stall=True`` to opt in.
 
         The dead channel's transport is untouched here; callers that want
         the buffers dropped use
@@ -215,6 +267,13 @@ class Splitter:
             )
         if not self.live[channel]:
             return (0, [])
+        if not allow_stall and sum(self.live) <= 1:
+            raise RegionStalledError(
+                f"failing channel {channel} leaves no live channel: the "
+                "region is stalled. Restore another channel first, or pass "
+                "allow_stall=True if a recovery layer will restore one "
+                "later."
+            )
         self.live[channel] = False
 
         # Un-park from the dead channel before anything else: the wait
@@ -246,6 +305,12 @@ class Splitter:
             # The source had drained but replay revives the send loop.
             self.finished = False
             self.sim.schedule_after(0.0, self._try_send_cb)
+        elif replayed and self._parked_idle:
+            # Parked between arrivals of an open-loop source: the replay
+            # queue has work now, so wake up rather than wait for the
+            # next arrival (which may never come).
+            self._parked_idle = False
+            self.sim.schedule_after(0.0, self._try_send_cb)
         return (replayed, lost)
 
     def restore_channel(self, channel: int) -> None:
@@ -265,11 +330,24 @@ class Splitter:
 
     def _try_send(self) -> None:
         if self._pending is None:
+            gate = self._flow_gate
+            if gate is not None and gate.paused:
+                # Merger backpressure: hold off before pulling the next
+                # tuple; the gate's resume edge restarts the loop.
+                self._parked_flow = True
+                if self._flow_park_start is None:
+                    self._flow_park_start = self.sim.now
+                return
             if self._replay:
                 tup = self._replay.popleft()
             else:
                 tup = self.source.next_tuple()
                 if tup is None:
+                    if self.source.idle():
+                        # Open-loop source between arrivals: park until
+                        # notify_available() wakes us.
+                        self._parked_idle = True
+                        return
                     self.finished = True
                     return
             if tup.born_at is None:

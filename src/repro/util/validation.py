@@ -23,6 +23,12 @@ def check_non_negative(name: str, value: float) -> None:
         raise ValueError(f"{name} must be non-negative and finite, got {value}")
 
 
+def check_positive_fraction(name: str, value: float) -> None:
+    """Require ``0 < value <= 1``."""
+    if not math.isfinite(value) or not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must be in (0, 1], got {value}")
+
+
 def check_fraction(name: str, value: float) -> None:
     """Require ``0 <= value <= 1``."""
     if not math.isfinite(value) or not 0.0 <= value <= 1.0:

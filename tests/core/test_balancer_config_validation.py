@@ -1,0 +1,93 @@
+"""Construction-time validation of BalancerConfig and LoadBalancer.
+
+Every bad tunable must fail loudly at construction, not rounds later as
+a solver crash or a silently skewed allocation.
+"""
+
+import pytest
+
+from repro.core.balancer import BalancerConfig, LoadBalancer
+
+
+class TestAlphaValidation:
+    @pytest.mark.parametrize("value", [0.0, -0.5, 1.5])
+    def test_rate_alpha_must_be_positive_fraction(self, value):
+        with pytest.raises(ValueError):
+            BalancerConfig(rate_alpha=value)
+
+    @pytest.mark.parametrize("value", [0.0, -0.1, 2.0])
+    def test_function_alpha_must_be_positive_fraction(self, value):
+        with pytest.raises(ValueError):
+            BalancerConfig(function_alpha=value)
+
+    def test_boundary_one_is_legal(self):
+        BalancerConfig(rate_alpha=1.0, function_alpha=1.0)
+
+
+class TestMovementBounds:
+    @pytest.mark.parametrize("value", [0, -10])
+    def test_max_increase_must_be_positive_when_set(self, value):
+        with pytest.raises(ValueError):
+            BalancerConfig(max_increase=value)
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_max_decrease_must_be_positive_when_set(self, value):
+        with pytest.raises(ValueError):
+            BalancerConfig(max_decrease=value)
+
+    def test_none_means_unlimited(self):
+        BalancerConfig(max_increase=None, max_decrease=None)
+
+
+class TestWeightFloor:
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ValueError):
+            BalancerConfig(weight_floor=-1)
+
+    def test_floor_above_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            BalancerConfig(weight_floor=1001, resolution=1000)
+
+    def test_infeasible_floor_across_connections_rejected(self):
+        # 300 x 4 = 1200 > 1000: no allocation grants every floor.
+        config = BalancerConfig(weight_floor=300, resolution=1000)
+        with pytest.raises(ValueError):
+            LoadBalancer(4, config)
+
+    def test_feasible_floor_accepted(self):
+        LoadBalancer(3, BalancerConfig(weight_floor=300, resolution=1000))
+
+
+class TestClusteringKnobs:
+    def test_cluster_threshold_zero_is_legal(self):
+        BalancerConfig(cluster_threshold=0.0)
+
+    def test_negative_cluster_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            BalancerConfig(cluster_threshold=-0.1)
+
+    def test_delta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BalancerConfig(delta=0.0)
+
+
+class TestSafeModeKnobs:
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_safe_saturation_must_be_fraction(self, value):
+        with pytest.raises(ValueError):
+            BalancerConfig(safe_saturation=value)
+
+    def test_safe_recover_rounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BalancerConfig(safe_recover_rounds=0)
+
+    def test_max_churn_must_be_positive_when_set(self):
+        with pytest.raises(ValueError):
+            BalancerConfig(max_churn=0)
+
+    def test_safe_flip_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BalancerConfig(safe_flip_limit=0)
+
+    def test_safe_mode_defaults_off(self):
+        assert not BalancerConfig().safe_mode

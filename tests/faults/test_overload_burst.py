@@ -1,0 +1,97 @@
+"""Overload-burst faults: schedule plumbing and injector behavior."""
+
+import pytest
+
+from repro.core.policies import RoundRobinPolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule, OverloadBurstEvent
+from repro.sim.engine import Simulator
+from repro.streams.hosts import Host, Placement
+from repro.streams.region import ParallelRegion, RegionParams
+from repro.streams.sources import InfiniteSource, RatedSource, constant_cost
+
+
+def make_region(sim, source, n=2):
+    host = Host("h", cores=8, thread_speed=1000.0)
+    return ParallelRegion(
+        sim,
+        source,
+        RoundRobinPolicy(n),
+        Placement.single_host(n, host),
+        params=RegionParams(fault_tolerant=True),
+    )
+
+
+class TestEvent:
+    def test_fields_validated(self):
+        with pytest.raises(ValueError):
+            OverloadBurstEvent(time=-1.0, factor=2.0)
+        with pytest.raises(ValueError):
+            OverloadBurstEvent(time=0.0, factor=0.0)
+        with pytest.raises(ValueError):
+            OverloadBurstEvent(time=0.0, factor=2.0, duration=0.0)
+
+    def test_factor_below_one_models_demand_drop(self):
+        OverloadBurstEvent(time=0.0, factor=0.5)
+
+
+class TestSchedule:
+    def test_classmethod_builds_one_burst(self):
+        schedule = FaultSchedule.overload_burst(10.0, 2.0, duration=5.0)
+        assert len(schedule.bursts) == 1
+        assert schedule.bursts[0].factor == 2.0
+
+    def test_empty_accounts_for_bursts(self):
+        assert FaultSchedule.none().empty()
+        assert not FaultSchedule.overload_burst(1.0, 2.0).empty()
+
+    def test_burst_targets_no_worker(self):
+        schedule = FaultSchedule.overload_burst(1.0, 2.0)
+        assert schedule.max_worker() == -1
+        schedule.validate(1)  # any region width is fine
+
+
+class TestArming:
+    def test_burst_scales_then_restores_the_rate(self):
+        sim = Simulator()
+        source = RatedSource(10.0, constant_cost(100.0))
+        region = make_region(sim, source)
+        injector = FaultInjector(sim, region)
+        FaultSchedule.overload_burst(1.0, 3.0, duration=2.0).arm(
+            sim, injector
+        )
+        source.arm(sim)
+        rates = []
+        sim.call_at(0.5, lambda: rates.append(source.rate))
+        sim.call_at(1.5, lambda: rates.append(source.rate))
+        sim.call_at(3.5, lambda: rates.append(source.rate))
+        sim.run_until(4.0)
+        assert rates == pytest.approx([10.0, 30.0, 10.0])
+
+    def test_burst_actions_are_logged(self):
+        sim = Simulator()
+        source = RatedSource(10.0, constant_cost(100.0))
+        region = make_region(sim, source)
+        injector = FaultInjector(sim, region)
+        FaultSchedule.overload_burst(1.0, 2.0, duration=1.0).arm(
+            sim, injector
+        )
+        sim.run_until(3.0)
+        kinds = [record.kind for record in injector.log]
+        assert kinds == ["overload", "overload_end"]
+
+    def test_permanent_burst_never_restores(self):
+        sim = Simulator()
+        source = RatedSource(10.0, constant_cost(100.0))
+        region = make_region(sim, source)
+        injector = FaultInjector(sim, region)
+        FaultSchedule.overload_burst(1.0, 2.0).arm(sim, injector)
+        sim.run_until(10.0)
+        assert source.rate == pytest.approx(20.0)
+
+    def test_burst_without_rated_source_rejected(self):
+        sim = Simulator()
+        region = make_region(sim, InfiniteSource(constant_cost(100.0)))
+        injector = FaultInjector(sim, region)
+        with pytest.raises(ValueError, match="RatedSource"):
+            injector.overload_burst(2.0)

@@ -1,0 +1,60 @@
+"""Soak: sustained 2x overload for ten simulated minutes.
+
+Excluded from tier-1 (``-m "not soak"`` in the default addopts); CI runs
+it in a dedicated job. The point is endurance, not speed: over a long
+horizon the protected region must hold a stable shedding equilibrium —
+bounded input queue, bounded reordering buffer, bounded latency — with
+no slow leak that a 60-second run would miss.
+"""
+
+import pytest
+
+from repro.experiments.config import overload_scenario
+from repro.experiments.runner import run_experiment
+
+DURATION = 600.0
+
+
+@pytest.fixture(scope="module")
+def soaked():
+    return run_experiment(
+        overload_scenario(duration=DURATION), "lb-adaptive"
+    )
+
+
+@pytest.mark.soak
+class TestSustainedOverload:
+    def test_queue_bounded_for_the_whole_run(self, soaked):
+        cfg = overload_scenario(duration=DURATION)
+        assert soaked.max_input_queue < 2 * cfg.overload.queue_high
+        # No slow creep: the final samples look like the early ones.
+        values = [v for _, v in soaked.queue_series]
+        early = max(values[: len(values) // 4])
+        late = max(values[-len(values) // 4 :])
+        assert late < 2 * max(early, cfg.overload.queue_low)
+
+    def test_pending_bounded_for_the_whole_run(self, soaked):
+        cfg = overload_scenario(duration=DURATION)
+        # The gate pauses the splitter at pending_high; tuples already in
+        # the connections' buffers still land, hence the slack.
+        assert soaked.max_merger_pending <= cfg.overload.pending_high + 64
+
+    def test_shedding_settles_near_the_excess(self, soaked):
+        assert 0.35 < soaked.shed_ratio() < 0.65
+
+    def test_p99_latency_has_no_trend(self, soaked):
+        values = [v for _, v in soaked.p99_latency_series]
+        assert values
+        assert max(values) < 15.0
+        late = values[-len(values) // 4 :]
+        assert max(late) < 15.0
+
+    def test_throughput_tracks_capacity(self, soaked):
+        cfg = overload_scenario(duration=DURATION)
+        capacity = cfg.arrival_rate / 2.0  # scenario offers 2x capacity
+        # Flow-control pauses and the shedding equilibrium cost some
+        # goodput; the floor asserts no collapse, not perfection.
+        assert soaked.emitted > 0.7 * capacity * DURATION
+
+    def test_detector_tripped_for_most_of_the_run(self, soaked):
+        assert soaked.overload_seconds > 0.8 * DURATION

@@ -1,0 +1,85 @@
+"""Shutdown semantics of the real-socket mini region.
+
+Close must be idempotent (the ``with``-block pattern closes twice on
+error paths) and must surface stuck workers as the same
+``RegionStalledError`` the simulated dataplane uses for a region with
+no live channel.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.net.socket_transport import SocketMiniRegion
+from repro.streams.splitter import RegionStalledError
+
+
+def _sockets_available() -> bool:
+    try:
+        left, right = socket.socketpair()
+        left.close()
+        right.close()
+        return True
+    except OSError:
+        return False
+
+
+pytestmark = [
+    pytest.mark.sockets,
+    pytest.mark.skipif(not _sockets_available(), reason="no socketpair support"),
+]
+
+
+class TestIdempotentClose:
+    def test_double_close_is_a_noop(self):
+        region = SocketMiniRegion([0.0001])
+        region.close()
+        region.close()  # second close: nothing to do, no error
+
+    def test_close_after_with_block_is_safe(self):
+        with SocketMiniRegion([0.0001]) as region:
+            region.send_weighted(5, [1000])
+        region.close()
+
+    def test_worker_failure_raised_once_not_twice(self):
+        region = SocketMiniRegion([0.0001])
+        region.workers[0]._failure = ValueError("worker exploded")
+        with pytest.raises(ValueError, match="worker exploded"):
+            region.close()
+        # __exit__-style second close: already reported, stays quiet.
+        region.close()
+
+    def test_with_block_survives_body_exception(self):
+        # The body closes explicitly (raising), then __exit__ closes
+        # again — the second close must not mask the original error.
+        region = SocketMiniRegion([0.0001])
+        region.workers[0]._failure = ValueError("worker exploded")
+        with pytest.raises(ValueError, match="worker exploded"):
+            with region:
+                region.close()
+
+
+class TestStuckWorkerStalls:
+    def test_stuck_worker_raises_region_stalled(self):
+        region = SocketMiniRegion([0.0001], join_timeout=0.1)
+        stop = threading.Event()
+
+        class Stuck(threading.Thread):
+            def __init__(self, sock):
+                super().__init__(daemon=True)
+                self.sock = sock
+                self._failure = None
+
+            def run(self):
+                stop.wait(10.0)
+
+        stuck = Stuck(region.workers[0].sock)
+        stuck.start()
+        region.workers[0] = stuck
+        try:
+            with pytest.raises(RegionStalledError, match="did not exit"):
+                region.close()
+            region.close()  # still idempotent after the stall report
+        finally:
+            stop.set()

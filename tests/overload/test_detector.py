@@ -1,0 +1,148 @@
+"""Unit tests for the overload detector and its config."""
+
+import pytest
+
+from repro.overload.detector import OverloadConfig, OverloadDetector
+
+
+def small_config(**overrides):
+    """A config with tiny confirmation streaks for terse tests."""
+    overrides.setdefault("trip_confirmations", 2)
+    overrides.setdefault("clear_confirmations", 2)
+    return OverloadConfig(**overrides)
+
+
+class TestOverloadConfig:
+    def test_defaults_valid(self):
+        OverloadConfig()
+
+    def test_unknown_shedding_rejected(self):
+        with pytest.raises(ValueError):
+            OverloadConfig(shedding="random-early")
+
+    def test_queue_watermarks_ordered(self):
+        with pytest.raises(ValueError):
+            OverloadConfig(queue_high=64, queue_low=64)
+
+    def test_pending_watermarks_ordered(self):
+        with pytest.raises(ValueError):
+            OverloadConfig(pending_high=10, pending_low=20)
+
+    def test_check_interval_positive(self):
+        with pytest.raises(ValueError):
+            OverloadConfig(check_interval=0.0)
+
+    def test_saturation_threshold_is_fraction(self):
+        with pytest.raises(ValueError):
+            OverloadConfig(saturation_threshold=1.5)
+
+    def test_confirmations_positive(self):
+        with pytest.raises(ValueError):
+            OverloadConfig(trip_confirmations=0)
+        with pytest.raises(ValueError):
+            OverloadConfig(clear_confirmations=0)
+
+
+class TestTripHysteresis:
+    def test_trips_only_after_confirmation_streak(self):
+        det = OverloadDetector(small_config(trip_confirmations=3))
+        high = det.config.pending_high
+        assert not det.observe(1.0, backlog=0, pending=high)
+        assert not det.observe(2.0, backlog=0, pending=high)
+        assert det.observe(3.0, backlog=0, pending=high)
+        assert det.trips == 1
+
+    def test_single_healthy_check_resets_trip_streak(self):
+        det = OverloadDetector(small_config(trip_confirmations=2))
+        high = det.config.pending_high
+        assert not det.observe(1.0, backlog=0, pending=high)
+        assert not det.observe(2.0, backlog=0, pending=0)
+        assert not det.observe(3.0, backlog=0, pending=high)
+        # The streak restarted at the third check; one more trips.
+        assert det.observe(4.0, backlog=0, pending=high)
+
+    def test_growing_backlog_above_watermark_trips(self):
+        det = OverloadDetector(small_config(trip_confirmations=1))
+        assert det.observe(1.0, backlog=det.config.queue_high + 100, pending=0)
+
+    def test_high_but_shrinking_backlog_does_not_trip(self):
+        # A shrinking backlog above the watermark is draining, not growing.
+        det = OverloadDetector(small_config(trip_confirmations=1))
+        q = det.config.queue_high
+        det.last_backlog = q + 200
+        assert not det.observe(1.0, backlog=q + 100, pending=0)
+
+    def test_all_channels_saturated_trips(self):
+        det = OverloadDetector(small_config(trip_confirmations=1))
+        # Counters advancing at ~1 s blocked per second on every channel.
+        det.observe(1.0, backlog=0, pending=0, counters=[0.0, 0.0])
+        assert det.observe(2.0, backlog=0, pending=0, counters=[0.95, 0.99])
+
+    def test_one_unsaturated_channel_is_imbalance_not_overload(self):
+        det = OverloadDetector(small_config(trip_confirmations=1))
+        det.observe(1.0, backlog=0, pending=0, counters=[0.0, 0.0])
+        assert not det.observe(
+            2.0, backlog=0, pending=0, counters=[0.99, 0.01]
+        )
+
+
+class TestClearHysteresis:
+    def tripped(self, **overrides):
+        det = OverloadDetector(small_config(**overrides))
+        high = det.config.pending_high
+        for i in range(det.config.trip_confirmations):
+            det.observe(float(i + 1), backlog=0, pending=high)
+        assert det.overloaded
+        return det
+
+    def test_clears_only_after_healthy_streak(self):
+        det = self.tripped(clear_confirmations=3)
+        t = 10.0
+        assert det.observe(t, backlog=0, pending=0)
+        assert det.observe(t + 1, backlog=0, pending=0)
+        assert not det.observe(t + 2, backlog=0, pending=0)
+
+    def test_middle_zone_resets_clear_streak(self):
+        det = self.tripped(clear_confirmations=2)
+        mid = det.config.queue_low + 1  # above low, below high: not healthy
+        assert det.observe(10.0, backlog=0, pending=0)
+        assert det.observe(11.0, backlog=mid, pending=0)
+        assert det.observe(12.0, backlog=0, pending=0)
+        assert not det.observe(13.0, backlog=0, pending=0)
+
+    def test_overloaded_seconds_accumulate_while_tripped(self):
+        det = self.tripped(clear_confirmations=2)
+        start = det.overloaded_seconds
+        high = det.config.pending_high
+        base = 10.0
+        for i in range(4):
+            det.observe(base + i, backlog=0, pending=high)
+        assert det.overloaded_seconds == pytest.approx(start + 3.0 + 8.0)
+        # (8.0 covers the gap between the trip at t=2 and t=10.)
+
+
+class TestPressure:
+    def test_zero_while_healthy(self):
+        det = OverloadDetector(small_config())
+        det.observe(1.0, backlog=10_000, pending=0)
+        assert det.pressure() == 0.0
+
+    def test_tracks_worst_fraction_when_overloaded(self):
+        det = OverloadDetector(small_config(trip_confirmations=1))
+        cfg = det.config
+        det.observe(1.0, backlog=cfg.queue_high, pending=cfg.pending_high)
+        assert det.overloaded
+        det.observe(2.0, backlog=cfg.queue_high // 2, pending=0)
+        assert det.pressure() == pytest.approx(0.5)
+
+    def test_explicit_backlog_overrides_last_sample(self):
+        det = OverloadDetector(small_config(trip_confirmations=1))
+        cfg = det.config
+        det.observe(1.0, backlog=cfg.queue_high, pending=0)
+        assert det.pressure(backlog=cfg.queue_high // 4) == pytest.approx(0.25)
+
+    def test_capped_at_one(self):
+        det = OverloadDetector(small_config(trip_confirmations=1))
+        cfg = det.config
+        det.observe(1.0, backlog=cfg.queue_high * 10, pending=0)
+        assert det.pressure() == 1.0

@@ -1,0 +1,56 @@
+"""Unit tests for the merger->splitter flow-control gate."""
+
+import pytest
+
+from repro.overload.flow import FlowControlGate
+
+
+class TestValidation:
+    def test_high_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlowControlGate(0, 0)
+
+    def test_low_must_be_below_high(self):
+        with pytest.raises(ValueError):
+            FlowControlGate(10, 10)
+        with pytest.raises(ValueError):
+            FlowControlGate(10, -1)
+
+
+class TestHysteresis:
+    def test_pauses_at_high_resumes_at_low(self):
+        gate = FlowControlGate(10, 3)
+        gate.update(9)
+        assert not gate.paused
+        gate.update(10)
+        assert gate.paused
+        gate.update(4)  # above low: still paused
+        assert gate.paused
+        gate.update(3)
+        assert not gate.paused
+        assert gate.pauses == 1
+
+    def test_edge_callbacks_fire_once_per_transition(self):
+        gate = FlowControlGate(10, 3)
+        events = []
+        gate.on_pause = lambda: events.append("pause")
+        gate.on_resume = lambda: events.append("resume")
+        gate.update(15)
+        gate.update(20)  # already paused: no second edge
+        gate.update(2)
+        gate.update(1)  # already resumed: no second edge
+        assert events == ["pause", "resume"]
+
+    def test_repeated_cycles_counted(self):
+        gate = FlowControlGate(5, 1)
+        for _ in range(3):
+            gate.update(5)
+            gate.update(0)
+        assert gate.pauses == 3
+        assert not gate.paused
+
+    def test_no_callbacks_is_fine(self):
+        gate = FlowControlGate(5, 1)
+        gate.update(5)
+        gate.update(0)
+        assert gate.pauses == 1

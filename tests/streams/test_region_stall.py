@@ -1,0 +1,85 @@
+"""Failing the last live channel: the RegionStalledError guard.
+
+Regression tests for the all-channels-dead deadlock: without a survivor
+there is nowhere to replay and the splitter would park forever, so the
+failure must raise loudly — unless a recovery layer explicitly promises
+to restore a channel (``allow_stall=True``), which is exactly how the
+quarantine path keeps working.
+"""
+
+import pytest
+
+from repro.core.policies import RoundRobinPolicy
+from repro.sim.engine import Simulator
+from repro.streams.hosts import Host, Placement
+from repro.streams.region import ParallelRegion, RegionParams
+from repro.streams.sources import FiniteSource, constant_cost
+from repro.streams.splitter import RegionStalledError
+
+
+def make_region(sim, n=2, total=50):
+    host = Host("h", cores=8, thread_speed=1000.0)
+    return ParallelRegion(
+        sim,
+        FiniteSource(total, constant_cost(100.0)),
+        RoundRobinPolicy(n),
+        Placement.single_host(n, host),
+        params=RegionParams(fault_tolerant=True),
+    )
+
+
+class TestLastChannelGuard:
+    def test_failing_the_last_live_channel_raises(self):
+        sim = Simulator()
+        region = make_region(sim, n=2)
+        region.start()
+        sim.run_until(1.0)
+        region.fail_channel(0)
+        with pytest.raises(RegionStalledError):
+            region.fail_channel(1)
+
+    def test_raise_leaves_the_survivor_untouched(self):
+        sim = Simulator()
+        region = make_region(sim, n=2)
+        region.start()
+        sim.run_until(1.0)
+        region.fail_channel(0)
+        with pytest.raises(RegionStalledError):
+            region.fail_channel(1)
+        # The guard fired before any state mutation: channel 1 still runs.
+        assert region.splitter.live[1]
+        assert region.workers[1].alive
+        sim.run_until(60.0)
+        assert region.merger.emitted + region.merger.tuples_lost >= 50
+
+    def test_allow_stall_opts_in_and_restore_recovers(self):
+        sim = Simulator()
+        region = make_region(sim, n=2)
+        region.start()
+        sim.run_until(1.0)
+        region.fail_channel(0)
+        region.fail_channel(1, allow_stall=True)  # no raise
+        assert sum(region.splitter.live) == 0
+        sim.call_at(5.0, lambda: region.restore_channel(1))
+        sim.run_until(120.0)
+        assert region.merger.emitted + region.merger.tuples_lost >= 50
+
+    def test_splitter_level_guard(self):
+        sim = Simulator()
+        region = make_region(sim, n=1)
+        region.start()
+        sim.run_until(1.0)
+        with pytest.raises(RegionStalledError):
+            region.splitter.fail_channel(0)
+
+    def test_error_is_a_runtime_error(self):
+        assert issubclass(RegionStalledError, RuntimeError)
+
+    def test_already_dead_channel_is_a_noop_not_an_error(self):
+        sim = Simulator()
+        region = make_region(sim, n=2)
+        region.start()
+        sim.run_until(1.0)
+        region.fail_channel(0)
+        # Re-failing the dead channel must not trip the last-live guard.
+        assert region.splitter.fail_channel(0) == (0, [])

@@ -25,6 +25,10 @@ class TestPublicApi:
             "StreamGraph",
             "Simulator",
             "plan_placement",
+            "OverloadManager",
+            "OverloadConfig",
+            "RatedSource",
+            "overload_scenario",
         ):
             assert name in repro.__all__, name
 
