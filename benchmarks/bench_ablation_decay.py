@@ -11,7 +11,7 @@ trades off:
   decay keeps poking the overloaded connection).
 """
 
-from conftest import run_once
+from conftest import run_once, smoke_scale
 
 import dataclasses
 
@@ -19,7 +19,7 @@ from repro.experiments.figures import fig08_top_config
 from repro.experiments.runner import run_experiment
 
 DECAYS = (0.0, 0.05, 0.1, 0.25)
-DURATION = 400.0
+DURATION = smoke_scale(400.0, 60.0)
 
 
 def run_decay_sweep():
@@ -43,8 +43,10 @@ def bench_ablation_decay(benchmark, report):
     loaded_tput = {}
     for decay in DECAYS:
         result = results[decay]
-        rec = result.mean_weight(0, 300.0, DURATION)
-        loaded = result.throughput_series.window(15.0, DURATION / 8).mean()
+        rec = result.mean_weight(0, DURATION * 0.75, DURATION)
+        loaded = result.throughput_series.window(
+            DURATION * 0.0375, DURATION / 8
+        ).mean()
         recovered[decay] = rec
         loaded_tput[decay] = loaded
         lines.append(

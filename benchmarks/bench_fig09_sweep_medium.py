@@ -13,7 +13,7 @@ Three graphs in the paper, three benches here:
   speed eventually (all PEs equal after removal), LB-adaptive close.
 """
 
-from conftest import run_once
+from conftest import run_once, smoke_scale
 
 from repro.analysis.shape import assert_between, assert_faster
 from repro.experiments.figures import fig09_config
@@ -28,7 +28,12 @@ def bench_fig09_static(benchmark, report):
     rows = run_once(
         benchmark,
         lambda: run_sweep(
-            lambda n: fig09_config(n, dynamic=False), PE_COUNTS, POLICIES
+            lambda n: fig09_config(
+                n, dynamic=False,
+                total_tuples=smoke_scale(60_000, 8_000),
+            ),
+            PE_COUNTS,
+            POLICIES,
         ),
     )
     report(
@@ -62,7 +67,12 @@ def bench_fig09_dynamic(benchmark, report):
     rows = run_once(
         benchmark,
         lambda: run_sweep(
-            lambda n: fig09_config(n, dynamic=True), PE_COUNTS, POLICIES
+            lambda n: fig09_config(
+                n, dynamic=True,
+                total_tuples=smoke_scale(60_000, 8_000),
+            ),
+            PE_COUNTS,
+            POLICIES,
         ),
     )
     report(

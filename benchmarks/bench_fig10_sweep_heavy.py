@@ -11,14 +11,14 @@ The heavy-imbalance sweep. Paper's observations, asserted:
   "took at least 10x as long to reach this throughput" than Oracle*.
 """
 
-from conftest import run_once
+from conftest import run_once, smoke_scale
 
 from repro.analysis.shape import assert_between, assert_faster
 from repro.experiments.figures import fig10_config
 from repro.experiments.results import format_sweep_table
 from repro.experiments.sweep import run_sweep
 
-STATIC_PES = (4, 8, 16)
+STATIC_PES = smoke_scale((4, 8, 16), (4,))
 POLICIES = ("oracle", "lb-static", "lb-adaptive", "rr")
 
 
@@ -26,7 +26,9 @@ def bench_fig10_static(benchmark, report):
     rows = run_once(
         benchmark,
         lambda: run_sweep(
-            lambda n: fig10_config(n, dynamic=False, total_tuples=200_000),
+            lambda n: fig10_config(
+                n, dynamic=False, total_tuples=smoke_scale(200_000, 20_000)
+            ),
             STATIC_PES,
             POLICIES,
         ),
@@ -62,7 +64,9 @@ def bench_fig10_dynamic(benchmark, report):
     rows = run_once(
         benchmark,
         lambda: run_sweep(
-            lambda n: fig10_config(n, dynamic=True, total_tuples=2_500_000),
+            lambda n: fig10_config(
+                n, dynamic=True, total_tuples=smoke_scale(2_500_000, 60_000)
+            ),
             (16,),
             POLICIES,
         ),

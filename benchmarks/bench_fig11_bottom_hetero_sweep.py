@@ -12,7 +12,7 @@ round-robin) and Even-LB (half/half, our scheme). The paper's shape:
   capacity."
 """
 
-from conftest import run_once
+from conftest import run_once, smoke_scale
 
 from repro.analysis.shape import assert_between
 from repro.experiments.figures import fig11_bottom_config
@@ -31,7 +31,9 @@ def run_grid():
     grid = {}
     for n in PE_COUNTS:
         for label, placement, policy in ALTERNATIVES:
-            config = fig11_bottom_config(n, placement)
+            config = fig11_bottom_config(
+                n, placement, total_tuples=smoke_scale(90_000, 9_000)
+            )
             grid[(n, label)] = run_experiment(
                 config, policy, record_series=False
             )

@@ -17,11 +17,43 @@ thing).
 
 from __future__ import annotations
 
+import os
 import pathlib
+import warnings
 
 import pytest
 
 REPORT_DIR = pathlib.Path(__file__).parent / "_reports"
+
+#: CI smoke mode (``REPRO_BENCH_SMOKE=1``): every bench runs end to end on
+#: tiny parameters to prove the harness itself works. Shape assertions are
+#: advisory at that scale (the paper's effects need the full budgets to
+#: show), so assertion failures are downgraded to warnings; genuine
+#: crashes — exceptions of any other kind — still fail the job.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() not in (
+    "",
+    "0",
+    "false",
+)
+
+
+def smoke_scale(full, tiny):
+    """``full`` normally; ``tiny`` under ``REPRO_BENCH_SMOKE``."""
+    return tiny if SMOKE else full
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if not SMOKE:
+        return (yield)
+    try:
+        return (yield)
+    except AssertionError as exc:
+        warnings.warn(
+            f"[smoke] shape assertion skipped in {item.nodeid}: {exc}",
+            stacklevel=1,
+        )
+        return None
 
 
 def run_once(benchmark, fn):

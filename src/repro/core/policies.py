@@ -42,6 +42,25 @@ class RoundRobinPolicy:
         self._next = (self._next + 1) % self.n_connections
         return chosen
 
+    def allocate_batch(self, count: int) -> list[int]:
+        """Tuples per connection for the next ``count`` picks, in one call.
+
+        Exactly what ``count`` calls of :meth:`next_connection` would have
+        realized: each connection gets ``count // n``, and the ``count % n``
+        leftovers go to the next connections in cyclic order (advancing the
+        cursor), so consecutive batches stay perfectly balanced.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        n = self.n_connections
+        base, extra = divmod(count, n)
+        alloc = [base] * n
+        cursor = self._next
+        for offset in range(extra):
+            alloc[(cursor + offset) % n] += 1
+        self._next = (cursor + extra) % n
+        return alloc
+
     def reroute_candidates(self, blocked: int) -> Iterable[int]:
         """Round-robin never reroutes."""
         return ()
@@ -90,6 +109,7 @@ class WeightedPolicy:
             raise ValueError("at least one weight must be positive")
         self._weights = cleaned
         self._credits = [0.0] * len(cleaned)
+        self._batch_credits = [0.0] * len(cleaned)
         # Weights change at control-interval granularity but are read on
         # every routed tuple: precompute the nonzero (index, weight) pairs
         # and their sum once per change instead of filtering per pick.
@@ -109,6 +129,52 @@ class WeightedPolicy:
                 best = j
         credits[best] -= self._total
         return best
+
+    def allocate_batch(self, count: int) -> list[int]:
+        """Apportion ``count`` tuples across connections by weight.
+
+        Largest-remainder apportionment over each connection's exact share
+        ``count * w_j / total``, with the fractional part *carried* between
+        calls in a separate credit vector: over any run of batches,
+        connection ``j``'s realized allocation never drifts more than one
+        tuple from ``T * w_j / total`` — the same long-run exactness the
+        smooth per-tuple interleave provides, at one call per batch.
+        Credits reset on :meth:`set_weights`, like the per-pick credits.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        alloc = [0] * self.n_connections
+        if count == 0:
+            return alloc
+        credits = self._batch_credits
+        total = self._total
+        assigned = 0
+        remainders: list[tuple[float, int]] = []
+        for j, w in self._active:
+            share = credits[j] + count * w / total
+            floor = int(share)
+            if floor > share:  # true floor: int() truncates toward zero
+                floor -= 1
+            if floor < 0:
+                # A connection whose carried debt exceeds this batch's
+                # share contributes nothing; the debt carries forward.
+                # Its remainder is negative, so it sorts behind every
+                # non-negative remainder and never receives a leftover
+                # (there are always enough non-negative candidates:
+                # the leftover count equals the remainder sum, which is
+                # strictly below the number of non-negative remainders).
+                floor = 0
+            alloc[j] = floor
+            assigned += floor
+            credits[j] = share - floor
+            remainders.append((share - floor, j))
+        # Hand the leftover tuples to the largest fractional remainders,
+        # lowest index first on ties (deterministic).
+        remainders.sort(key=lambda pair: (-pair[0], pair[1]))
+        for _, j in remainders[: count - assigned]:
+            alloc[j] += 1
+            credits[j] -= 1.0
+        return alloc
 
     def reroute_candidates(self, blocked: int) -> Iterable[int]:
         """Weighted policy elects to block, never reroutes (Section 4.4)."""
@@ -134,6 +200,10 @@ class ReroutingPolicy:
     def next_connection(self) -> int:
         """Primary route: plain round-robin."""
         return self._rr.next_connection()
+
+    def allocate_batch(self, count: int) -> list[int]:
+        """Batch allocation follows the underlying round-robin exactly."""
+        return self._rr.allocate_batch(count)
 
     def reroute_candidates(self, blocked: int) -> Iterable[int]:
         """All other connections, cyclically after the blocked one."""

@@ -216,6 +216,18 @@ class ExperimentConfig:
         """Copy with a different name (sweeps reuse one template)."""
         return replace(self, name=name)
 
+    def with_batch_size(self, batch_size: int) -> "ExperimentConfig":
+        """Copy with the region's batched fast path set to ``batch_size``.
+
+        Everything else — workload, hosts, balancer, overheads — is
+        unchanged, so a ``with_batch_size`` sweep isolates exactly the
+        amortization effect (see EXPERIMENTS.md, "Batching").
+        """
+        check_positive("batch_size", batch_size)
+        return replace(
+            self, region=replace(self.region, batch_size=int(batch_size))
+        )
+
 
 def fault_recovery_scenario(
     *,

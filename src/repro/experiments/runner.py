@@ -127,6 +127,12 @@ class RunResult:
     #: p99 end-to-end latency of tuples emitted per interval (None unless
     #: overload protection enabled the per-emit latency samples).
     p99_latency_series: TimeSeries | None = None
+    #: Splitter dispatch cycles (0 unless the batched fast path ran).
+    batches_dispatched: int = 0
+    #: Mean realized tuples per dispatch batch (0.0 unless batched).
+    batch_occupancy: float = 0.0
+    #: Per-tuple events the batched dataplane avoided scheduling.
+    events_coalesced: int = 0
 
     def shed_ratio(self) -> float:
         """Fraction of offered tuples shed before sequence assignment."""
@@ -506,6 +512,9 @@ def run_experiment(
         tuples_lost=region.merger.tuples_lost,
         events_processed=sim.events_processed,
         wall_seconds=wall_seconds,
+        batches_dispatched=region.splitter.dispatch_stats.batches,
+        batch_occupancy=region.splitter.dispatch_stats.mean_occupancy,
+        events_coalesced=sim.events_coalesced,
         tuples_offered=(
             rated_source.arrivals if rated_source is not None else 0
         ),

@@ -79,10 +79,14 @@ class FaultInjector:
         revoked = pe.crash()
         connection = self.region.connections[worker]
         if revoked is not None:
-            # The half-processed tuple goes back where it came from: it is
-            # unacknowledged, so either the restarted PE re-services it or
-            # the failover replay sends it to a survivor — never both.
-            connection.requeue_front(revoked)
+            # The half-processed tuple(s) go back where they came from:
+            # unacknowledged, so either the restarted PE re-services them
+            # or the failover replay sends them to a survivor — never
+            # both. A batched PE revokes its whole run; requeue it back
+            # to front in reverse so the head keeps the oldest tuple.
+            run = revoked if isinstance(revoked, list) else [revoked]
+            for tup in reversed(run):
+                connection.requeue_front(tup)
         connection.stall()
         self.crashes += 1
         self._record("crash", worker)

@@ -53,6 +53,7 @@ class SimulatedConnection:
         recv_capacity: int = 32,
         wire_delay: float = 0.0,
         batch_transfers: bool = True,
+        coalesce_delivery: bool = False,
     ) -> None:
         check_non_negative("wire_delay", wire_delay)
         self.sim = sim
@@ -64,6 +65,11 @@ class SimulatedConnection:
         #: engine did — the determinism tests assert results are identical
         #: either way.
         self.batch_transfers = batch_transfers
+        #: Batched-dataplane mode: notify the consumer once per delivered
+        #: *run* instead of once per tuple, so a batched worker sees the
+        #: whole run on its first wakeup. Off by default — per-tuple
+        #: notification is the paper-faithful (and golden-traced) behavior.
+        self.coalesce_delivery = coalesce_delivery
         self._send_buffer: BoundedBuffer[Any] = BoundedBuffer(send_capacity)
         self._recv_buffer: BoundedBuffer[Any] = BoundedBuffer(recv_capacity)
         #: Cumulative blocking time charged by the sender (Section 3).
@@ -106,6 +112,27 @@ class SimulatedConnection:
         self._pump()
         return True
 
+    def send_many(self, items: "list[Any]", start: int = 0) -> int:
+        """Push ``items[start:]`` into the send buffer until it fills.
+
+        The batched dataplane's bulk send: accepted tuples are pushed with
+        one flow-control pump at the end instead of one per tuple. Returns
+        how many were accepted (0 on would-block with a full buffer); the
+        caller keeps the unaccepted tail and elects to block, exactly like
+        a partial ``sendmsg``.
+        """
+        buffer = self._send_buffer
+        accepted = 0
+        n = len(items)
+        i = start
+        while i < n and buffer.try_push(items[i]):
+            i += 1
+            accepted += 1
+        if accepted:
+            self.tuples_sent += accepted
+            self._pump()
+        return accepted
+
     def wait_for_send_space(self, callback: Callable[[], None]) -> None:
         """Register a one-shot wakeup for when the send buffer has space.
 
@@ -131,6 +158,17 @@ class SimulatedConnection:
         item = self._recv_buffer.pop()
         self._pump()
         return item
+
+    def take_many(self, max_n: int) -> "list[Any]":
+        """Remove and return up to ``max_n`` received tuples, oldest first.
+
+        One flow-control pump per run instead of one per tuple; the
+        batched worker's counterpart to :meth:`send_many`.
+        """
+        items = self._recv_buffer.pop_many(max_n)
+        if items:
+            self._pump()
+        return items
 
     def requeue_front(self, item: Any) -> None:
         """Return a taken-but-unprocessed tuple to the head of the queue.
@@ -239,13 +277,30 @@ class SimulatedConnection:
         recv_buffer = self._recv_buffer
         try:
             if self.wire_delay == 0.0:
-                while send_buffer and not recv_buffer.is_full():
-                    item = send_buffer.pop()
-                    freed_send_space = True
-                    recv_buffer.push(item)
-                    self.tuples_delivered += 1
-                    if self.on_deliver is not None:
+                if self.coalesce_delivery:
+                    # Batched mode: move the whole run, then notify once.
+                    # The consumer's take may free receive space, so loop
+                    # move-then-notify rounds until nothing moves.
+                    while True:
+                        moved = 0
+                        while send_buffer and not recv_buffer.is_full():
+                            recv_buffer.push(send_buffer.pop())
+                            moved += 1
+                        if moved == 0:
+                            break
+                        freed_send_space = True
+                        self.tuples_delivered += moved
+                        if self.on_deliver is None:
+                            break
                         self.on_deliver()
+                else:
+                    while send_buffer and not recv_buffer.is_full():
+                        item = send_buffer.pop()
+                        freed_send_space = True
+                        recv_buffer.push(item)
+                        self.tuples_delivered += 1
+                        if self.on_deliver is not None:
+                            self.on_deliver()
             else:
                 batch: list[Any] | None = None
                 while send_buffer and not recv_buffer.is_full():
@@ -295,6 +350,16 @@ class SimulatedConnection:
         died with the old socket), so the arrival is dropped.
         """
         if generation is not None and generation != self._generation:
+            return
+        if self.coalesce_delivery:
+            # Batched mode: land the whole run, notify the consumer once,
+            # then let flow control catch up once.
+            for item in items:
+                self._recv_buffer.push_reserved(item)
+            self.tuples_delivered += len(items)
+            if self.on_deliver is not None:
+                self.on_deliver()
+            self._pump()
             return
         for item in items:
             self._recv_buffer.push_reserved(item)

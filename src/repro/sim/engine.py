@@ -85,6 +85,7 @@ class Simulator:
         "_stopped",
         "_trace",
         "events_processed",
+        "events_coalesced",
     )
 
     def __init__(self) -> None:
@@ -95,6 +96,9 @@ class Simulator:
         self._trace: "hashlib._Hash | None" = None
         #: Total events fired so far; useful for performance reporting.
         self.events_processed = 0
+        #: Per-tuple events the batched dataplane avoided scheduling
+        #: (bumped by batching entities, not the engine itself).
+        self.events_coalesced = 0
 
     @property
     def now(self) -> float:
@@ -166,6 +170,7 @@ class Simulator:
             events_cancelled=queue.cancellations,
             heap_compactions=queue.compactions,
             live_events=len(queue),
+            events_coalesced=self.events_coalesced,
         )
 
     def enable_tracing(self) -> None:

@@ -27,6 +27,7 @@ import random
 from typing import TYPE_CHECKING
 
 from repro.streams.tuples import StreamTuple
+from repro.util.perf import BatchStats
 from repro.util.validation import check_fraction, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,9 +52,11 @@ class WorkerPE:
         service_jitter: float = 0.0,
         seed: int = 0,
         fault_tolerant: bool = False,
+        batch_size: int = 1,
     ) -> None:
         check_positive("load_multiplier", load_multiplier)
         check_fraction("service_jitter", service_jitter)
+        check_positive("batch_size", batch_size)
         self.sim = sim
         self.pe_id = pe_id
         self.connection = connection
@@ -72,7 +75,7 @@ class WorkerPE:
         # One tuple is in service at a time (_busy guards), so the PE can
         # park it on self and schedule one prebound callback instead of a
         # fresh closure per tuple.
-        self._in_service: StreamTuple | None = None
+        self._in_service: StreamTuple | list[StreamTuple] | None = None
         self._complete_cb = self._complete
         #: Tuples fully processed by this PE.
         self.tuples_processed = 0
@@ -93,6 +96,18 @@ class WorkerPE:
         #: Called ``(pe_id, seq)`` after a tuple is accepted by the merger
         #: — the acknowledgement the splitter's retransmit buffer consumes.
         self.on_processed = None
+        #: Batched fast path: service up to this many queued tuples with a
+        #: single completion event (their service times still accrue per
+        #: tuple). 1 = the per-tuple path, byte-identical to pre-batching.
+        self.batch_size = int(batch_size)
+        #: Realized service-run occupancy (batched mode only).
+        self.service_stats = BatchStats()
+        if self.batch_size > 1:
+            # Instance attribute shadows the per-tuple method, so every
+            # internal consumer (_on_deliver, restart, resume) takes the
+            # batched path without a per-call branch.
+            self._start_next = self._start_next_batch
+            self._complete_batch_cb = self._complete_batch
         connection.on_deliver = self._on_deliver
         host.place(self)
 
@@ -130,17 +145,19 @@ class WorkerPE:
         """Whether the recovery layer has quarantined this PE."""
         return self._halted
 
-    def crash(self) -> "StreamTuple | None":
-        """Kill the PE process mid-run; returns the tuple whose service died.
+    def crash(self) -> "StreamTuple | list[StreamTuple] | None":
+        """Kill the PE process mid-run; returns what was in service.
 
-        The revoked tuple was never acknowledged, so the splitter's
-        retransmit buffer still holds it for replay. Requires
+        Per-tuple mode returns the single tuple whose service died; a
+        batched PE returns the whole in-service run (oldest first). The
+        revoked tuples were never acknowledged, so the splitter's
+        retransmit buffer still holds them for replay. Requires
         ``fault_tolerant`` (plain regions have no cancellable completions).
         """
         self.alive = False
         return self._revoke_service()
 
-    def halt(self) -> "StreamTuple | None":
+    def halt(self) -> "StreamTuple | list[StreamTuple] | None":
         """Quarantine a (possibly still live) PE: stop consuming now.
 
         Used when the recovery layer fails a channel whose worker process
@@ -172,7 +189,7 @@ class WorkerPE:
         if self.alive and not self._busy and self.connection.recv_available() > 0:
             self._start_next()
 
-    def _revoke_service(self) -> "StreamTuple | None":
+    def _revoke_service(self) -> "StreamTuple | list[StreamTuple] | None":
         if not self.fault_tolerant:
             raise RuntimeError(
                 f"PE {self.pe_id} is not fault-tolerant; build the region "
@@ -185,7 +202,9 @@ class WorkerPE:
             self._completion_event.cancel()
             self._completion_event = None
         if revoked is not None:
-            self.tuples_dropped += 1
+            self.tuples_dropped += (
+                len(revoked) if isinstance(revoked, list) else 1
+            )
         return revoked
 
     # ------------------------------------------------------------- internal
@@ -217,6 +236,49 @@ class WorkerPE:
         self.merger.accept(self.pe_id, tup)
         if self.on_processed is not None:
             self.on_processed(self.pe_id, tup.seq)
+        if self._halted or not self.alive:
+            self._busy = False
+        elif self.connection.recv_available() > 0:
+            self._start_next()
+        else:
+            self._busy = False
+
+    # ---------------------------------------------------- batched fast path
+
+    def _start_next_batch(self) -> None:
+        """Service a whole queued run with one completion event.
+
+        Service times (and jitter draws) still accrue per tuple, in take
+        order — the run completes when its last tuple would have — but the
+        simulator schedules one event instead of one per tuple.
+        """
+        self._busy = True
+        run = self.connection.take_many(self.batch_size)
+        duration = 0.0
+        for tup in run:
+            duration += self.service_time(tup)
+        self.busy_seconds += duration
+        self._in_service = run
+        self.service_stats.record(len(run))
+        self.sim.events_coalesced += len(run) - 1
+        if self.fault_tolerant:
+            self._completion_event = self.sim.call_after(
+                duration, self._complete_batch_cb
+            )
+        else:
+            self.sim.schedule_after(duration, self._complete_batch_cb)
+
+    def _complete_batch(self) -> None:
+        run = self._in_service
+        self._in_service = None
+        self._completion_event = None
+        self.tuples_processed += len(run)
+        self.merger.accept_run(self.pe_id, run)
+        if self.on_processed is not None:
+            on_processed = self.on_processed
+            pe_id = self.pe_id
+            for tup in run:
+                on_processed(pe_id, tup.seq)
         if self._halted or not self.alive:
             self._busy = False
         elif self.connection.recv_available() > 0:

@@ -63,12 +63,21 @@ class RegionParams:
     #: :class:`~repro.streams.pe.WorkerPE`). Seeded by ``seed``.
     service_jitter: float = 0.0
     seed: int = 0
+    #: Batched dataplane fast path: the splitter pulls and apportions up
+    #: to this many tuples per dispatch cycle, workers service runs with
+    #: one completion event, and the merger bulk-accepts each run. 1 (the
+    #: default) is the per-tuple path — golden traces are byte-identical
+    #: to a region without batching support. Larger values amortize the
+    #: per-tuple constant factor at the cost of coarser micro-timing (see
+    #: EXPERIMENTS.md, "Batching").
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         check_positive("send_capacity", self.send_capacity)
         check_positive("recv_capacity", self.recv_capacity)
         check_non_negative("wire_delay", self.wire_delay)
         check_positive("send_overhead", self.send_overhead)
+        check_positive("batch_size", self.batch_size)
         if not 0.0 <= self.service_jitter <= 1.0:
             raise ValueError(
                 f"service_jitter must be in [0, 1], got {self.service_jitter}"
@@ -112,6 +121,7 @@ class ParallelRegion:
                 recv_capacity=self.params.recv_capacity,
                 wire_delay=self.params.wire_delay,
                 batch_transfers=self.params.batch_transfers,
+                coalesce_delivery=self.params.batch_size > 1,
             )
             for i in range(n_workers)
         ]
@@ -128,6 +138,7 @@ class ParallelRegion:
                 service_jitter=self.params.service_jitter,
                 seed=self.params.seed,
                 fault_tolerant=self.params.fault_tolerant,
+                batch_size=self.params.batch_size,
             )
             for i in range(n_workers)
         ]
@@ -149,6 +160,7 @@ class ParallelRegion:
             send_overhead=self.params.send_overhead,
             fault_tolerant=self.params.fault_tolerant,
             retransmit_capacity=retransmit_capacity,
+            batch_size=self.params.batch_size,
         )
         if self.params.fault_tolerant:
             for worker in self.workers:

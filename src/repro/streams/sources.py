@@ -78,6 +78,23 @@ class TupleSource(ABC):
         self._next_seq += 1
         return tup
 
+    def next_batch(self, max_n: int) -> list[StreamTuple]:
+        """Up to ``max_n`` next tuples in sequence order (may be fewer).
+
+        The batched splitter's bulk pull. Never waits: an exhausted or
+        idle source yields a short (possibly empty) batch, and the caller
+        falls back to the same park/finish handling as the per-tuple path.
+        """
+        if max_n <= 0:
+            raise ValueError(f"max_n must be positive, got {max_n}")
+        batch: list[StreamTuple] = []
+        while len(batch) < max_n:
+            tup = self.next_tuple()
+            if tup is None:
+                break
+            batch.append(tup)
+        return batch
+
 
 class FiniteSource(TupleSource):
     """Exactly ``total`` tuples; used for execution-time experiments."""

@@ -35,6 +35,9 @@ class PerfCounters:
     heap_compactions: int
     #: Events currently scheduled and live.
     live_events: int
+    #: Per-tuple events the batched dataplane avoided scheduling: a batch
+    #: of ``k`` tuples handled by one event chain contributes ``k - 1``.
+    events_coalesced: int = 0
 
     def events_per_second(self, wall_seconds: float) -> float:
         """Fired events per wall-clock second over a measured window."""
@@ -45,6 +48,36 @@ class PerfCounters:
     def as_dict(self) -> dict[str, int]:
         """Plain-dict form for JSON reports."""
         return asdict(self)
+
+
+@dataclass(slots=True)
+class BatchStats:
+    """Occupancy tally for one batched stage (splitter dispatch, worker runs).
+
+    ``record(n)`` per batch; ``mean_occupancy`` is the average tuples per
+    batch actually realized — the amortization factor the batched fast
+    path achieves, as opposed to the configured ``batch_size`` ceiling
+    (early in a run, or when the pipeline runs dry, batches are smaller).
+    """
+
+    #: Batches processed.
+    batches: int = 0
+    #: Tuples carried by those batches.
+    tuples: int = 0
+
+    def record(self, n: int) -> None:
+        self.batches += 1
+        self.tuples += n
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Average tuples per batch (0.0 before the first batch)."""
+        return self.tuples / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        out = asdict(self)
+        out["mean_occupancy"] = self.mean_occupancy
+        return out
 
 
 @dataclass(slots=True)

@@ -1,0 +1,70 @@
+"""Worker-count resolution for the sweep process pool.
+
+``_resolve_jobs`` arbitrates three sources — the explicit ``jobs``
+argument, the ``REPRO_JOBS`` environment variable, and the machine's CPU
+count — with explicit > env > cpu precedence, rejecting anything below 1
+at whichever layer supplied it.
+"""
+
+import pytest
+
+from repro.experiments.sweep import JOBS_ENV_VAR, _resolve_jobs
+
+
+class TestExplicitJobs:
+    def test_explicit_jobs_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "16")
+        assert _resolve_jobs(3) == 3
+
+    def test_explicit_one_is_serial(self):
+        assert _resolve_jobs(1) == 1
+
+    @pytest.mark.parametrize("jobs", [0, -1, -100])
+    def test_explicit_below_one_rejected(self, jobs):
+        with pytest.raises(ValueError, match="at least 1"):
+            _resolve_jobs(jobs)
+
+
+class TestEnvOverride:
+    def test_env_used_when_jobs_is_none(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert _resolve_jobs(None) == 5
+
+    def test_env_one_disables_pool(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "1")
+        assert _resolve_jobs(None) == 1
+
+    def test_env_whitespace_stripped(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "  7  ")
+        assert _resolve_jobs(None) == 7
+
+    @pytest.mark.parametrize("env", ["0", "-2"])
+    def test_env_below_one_rejected(self, monkeypatch, env):
+        monkeypatch.setenv(JOBS_ENV_VAR, env)
+        with pytest.raises(ValueError, match="at least 1"):
+            _resolve_jobs(None)
+
+    @pytest.mark.parametrize("env", ["four", "1.5", "2x"])
+    def test_env_non_integer_rejected(self, monkeypatch, env):
+        monkeypatch.setenv(JOBS_ENV_VAR, env)
+        with pytest.raises(ValueError, match=JOBS_ENV_VAR):
+            _resolve_jobs(None)
+
+
+class TestCpuFallback:
+    def test_cpu_count_when_nothing_set(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 12)
+        assert _resolve_jobs(None) == 12
+
+    def test_empty_env_falls_through_to_cpu(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "   ")
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        assert _resolve_jobs(None) == 4
+
+    def test_unknown_cpu_count_means_one_worker(self, monkeypatch):
+        # os.cpu_count() may return None on exotic platforms; the sweep
+        # must still run (serially) rather than crash.
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert _resolve_jobs(None) == 1
