@@ -157,23 +157,47 @@ class WeightedPolicy:
                 floor -= 1
             if floor < 0:
                 # A connection whose carried debt exceeds this batch's
-                # share contributes nothing; the debt carries forward.
-                # Its remainder is negative, so it sorts behind every
-                # non-negative remainder and never receives a leftover
-                # (there are always enough non-negative candidates:
-                # the leftover count equals the remainder sum, which is
-                # strictly below the number of non-negative remainders).
+                # share contributes nothing; the debt carries forward
+                # (its remainder stays negative, sorting it behind every
+                # non-negative remainder for leftover hand-out).
                 floor = 0
             alloc[j] = floor
             assigned += floor
             credits[j] = share - floor
             remainders.append((share - floor, j))
-        # Hand the leftover tuples to the largest fractional remainders,
-        # lowest index first on ties (deterministic).
-        remainders.sort(key=lambda pair: (-pair[0], pair[1]))
-        for _, j in remainders[: count - assigned]:
-            alloc[j] += 1
-            credits[j] -= 1.0
+        # Clamping floors to zero breaks the textbook largest-remainder
+        # invariant that the floors sum to at most ``count`` with fewer
+        # leftovers than connections: with mixed debit/credit carries the
+        # floors can overshoot ``count``, and the shortfall can exceed the
+        # connection count. Settle the difference by cycling over the
+        # remainder ordering until the allocation sums exactly to
+        # ``count`` — one pass in the unclamped common case.
+        if assigned < count:
+            # Hand leftover tuples to the largest fractional remainders,
+            # lowest index first on ties (deterministic).
+            remainders.sort(key=lambda pair: (-pair[0], pair[1]))
+            leftover = count - assigned
+            while leftover:
+                for _, j in remainders:
+                    alloc[j] += 1
+                    credits[j] -= 1.0
+                    leftover -= 1
+                    if not leftover:
+                        break
+        elif assigned > count:
+            # Take the excess back from the smallest remainders, skipping
+            # connections with nothing allocated; sum(alloc) > count
+            # guarantees each pass finds at least one donor.
+            remainders.sort(key=lambda pair: (pair[0], pair[1]))
+            excess = assigned - count
+            while excess:
+                for _, j in remainders:
+                    if alloc[j] > 0:
+                        alloc[j] -= 1
+                        credits[j] += 1.0
+                        excess -= 1
+                        if not excess:
+                            break
         return alloc
 
     def reroute_candidates(self, blocked: int) -> Iterable[int]:

@@ -21,6 +21,7 @@ experiments all run on the simulator.
 
 from __future__ import annotations
 
+import os
 import select
 import socket
 import threading
@@ -34,6 +35,15 @@ from repro.util.validation import check_positive
 #: MSG_DONTWAIT is Linux-specific; with a non-blocking socket the flag is
 #: belt-and-braces, so fall back to 0 elsewhere.
 _DONTWAIT = getattr(socket, "MSG_DONTWAIT", 0)
+
+#: ``sendmsg`` rejects more than IOV_MAX buffers per call with EMSGSIZE,
+#: which would be misread as a dead peer; cap each scatter-gather call.
+try:
+    _IOV_MAX = os.sysconf("SC_IOV_MAX")
+    if _IOV_MAX <= 0:  # pragma: no cover - "indeterminate" sysconf result
+        _IOV_MAX = 1024
+except (AttributeError, OSError, ValueError):  # pragma: no cover
+    _IOV_MAX = 1024  # the Linux value; POSIX guarantees at least 16
 
 
 class PeerDeadError(ConnectionError):
@@ -144,7 +154,7 @@ class BlockingSocketSender:
         idx = 0
         while idx < n:
             try:
-                sent = self.sock.sendmsg(views[idx:])
+                sent = self.sock.sendmsg(views[idx : idx + _IOV_MAX])
             except (BlockingIOError, InterruptedError):
                 self._wait_writable()
                 continue

@@ -150,6 +150,40 @@ class TestSendBatch:
             left.close()
             right.close()
 
+    def test_batch_larger_than_iov_max(self):
+        # Regression: handing the whole views list to one sendmsg fails
+        # with EMSGSIZE beyond IOV_MAX buffers (1024 on Linux), which the
+        # OSError clause misreported as a dead peer. The sender must
+        # slice the iovec per call instead.
+        import threading
+
+        from repro.net.socket_transport import _IOV_MAX
+
+        n_frames = _IOV_MAX + 200
+        left, right = socket.socketpair()
+        try:
+            sender = BlockingSocketSender(left, send_timeout=8.0)
+            frames = [bytes([i % 256]) * 8 for i in range(n_frames)]
+            received = bytearray()
+
+            def reader():
+                right.settimeout(10.0)
+                while len(received) < 8 * n_frames:
+                    chunk = right.recv(65536)
+                    if not chunk:
+                        return
+                    received.extend(chunk)
+
+            thread = threading.Thread(target=reader, daemon=True)
+            thread.start()
+            sender.send_batch(frames)
+            thread.join(timeout=10.0)
+            assert sender.frames_sent == n_frames
+            assert bytes(received) == b"".join(frames)
+        finally:
+            left.close()
+            right.close()
+
     def test_dead_peer_raises(self):
         left, right = socket.socketpair()
         right.close()

@@ -145,6 +145,62 @@ class TestWeightedRoundRobinFairness:
         assert counts == [w * cycles for w in weights]
 
 
+class TestWeightedAllocateBatchInvariants:
+    """allocate_batch under *varying* counts, not one fixed batch size.
+
+    Regression territory: mixed debit/credit carries from uneven batch
+    occupancy (partial pulls, replay, end of stream) once made the
+    clamped floors sum past ``count``, and the leftover hand-out then
+    over-allocated — ``sum(alloc) == count`` must hold for every call in
+    any interleaving, alongside non-negativity and bounded drift.
+    """
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=2, max_size=8)
+        .filter(lambda ws: sum(ws) > 0),
+        st.lists(st.integers(min_value=0, max_value=70), min_size=1, max_size=30),
+    )
+    def test_sum_and_nonnegativity_for_any_count_sequence(self, weights, counts):
+        policy = WeightedPolicy(weights)
+        totals = [0] * len(weights)
+        sent = 0
+        w_total = sum(weights)
+        for count in counts:
+            alloc = policy.allocate_batch(count)
+            assert sum(alloc) == count, (weights, counts, alloc)
+            assert all(a >= 0 for a in alloc), (weights, counts, alloc)
+            sent += count
+            for j, a in enumerate(alloc):
+                totals[j] += a
+                assert weights[j] > 0 or a == 0, "zero weight must get nothing"
+        # Long-run exactness survives the varying occupancy: every
+        # connection stays within one tuple of its exact share.
+        for j, w in enumerate(weights):
+            assert abs(totals[j] - sent * w / w_total) <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=2, max_size=8)
+        .filter(lambda ws: sum(ws) > 0),
+        st.lists(st.integers(min_value=0, max_value=70), min_size=1, max_size=30),
+    )
+    def test_matches_per_pick_totals_within_one(self, weights, counts):
+        batched = WeightedPolicy(weights)
+        per_pick = WeightedPolicy(weights)
+        batched_totals = [0] * len(weights)
+        pick_totals = [0] * len(weights)
+        for count in counts:
+            for j, a in enumerate(batched.allocate_batch(count)):
+                batched_totals[j] += a
+            for _ in range(count):
+                pick_totals[per_pick.next_connection()] += 1
+        for j in range(len(weights)):
+            assert abs(batched_totals[j] - pick_totals[j]) <= 2, (
+                weights, counts, batched_totals, pick_totals,
+            )
+
+
 class TestMergerOrdering:
     @settings(max_examples=50, deadline=None)
     @given(st.permutations(list(range(25))))

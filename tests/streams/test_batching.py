@@ -101,6 +101,27 @@ class TestWeightedAllocateBatch:
             assert all(a >= 0 for a in alloc), alloc
             assert sum(alloc) == 2
 
+    def test_clamped_floors_cannot_overshoot_count(self):
+        # Regression: with mixed debit/credit carries the clamped floors
+        # summed past ``count`` and the leftover slice went negative,
+        # handing +1 to nearly every connection — a batch of 2 came back
+        # as an allocation of 8 and crashed the splitter's sum check.
+        policy = WeightedPolicy([7, 1, 1, 9, 7, 1])
+        policy._batch_credits = [0.5, -0.5, -0.5, 0.5, 0.5, -0.5]
+        alloc = policy.allocate_batch(2)
+        assert sum(alloc) == 2, alloc
+        assert all(a >= 0 for a in alloc), alloc
+
+    def test_varying_counts_preserve_sum_invariant(self):
+        # The same overshoot arises organically from uneven batch
+        # occupancy (partial pulls / end of stream), without poking at
+        # the credit vector: every call must still sum exactly.
+        policy = WeightedPolicy([7, 1, 1, 9, 7, 1])
+        for count in [6, 2, 11, 1, 3, 64, 2, 2, 5, 1] * 20:
+            alloc = policy.allocate_batch(count)
+            assert sum(alloc) == count, alloc
+            assert all(a >= 0 for a in alloc), alloc
+
     def test_set_weights_resets_credits(self):
         policy = WeightedPolicy([1, 1])
         policy.allocate_batch(1)  # leaves fractional credits behind
