@@ -56,6 +56,15 @@ from repro.experiments import (
     plan_placement,
     run_experiment,
 )
+from repro.obs import (
+    ControlRoundRecord,
+    DecisionAuditLog,
+    MetricsRegistry,
+    ObsReport,
+    ObservabilityConfig,
+    ObservabilityHub,
+    SpanTracer,
+)
 from repro.overload import (
     OverloadConfig,
     OverloadDetector,
@@ -120,6 +129,13 @@ __all__ = [
     "overload_scenario",
     "plan_placement",
     "run_experiment",
+    "ControlRoundRecord",
+    "DecisionAuditLog",
+    "MetricsRegistry",
+    "ObsReport",
+    "ObservabilityConfig",
+    "ObservabilityHub",
+    "SpanTracer",
     "OverloadConfig",
     "OverloadDetector",
     "OverloadManager",

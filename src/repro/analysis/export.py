@@ -28,8 +28,23 @@ def series_to_dict(series: TimeSeries) -> dict[str, Any]:
     }
 
 
+def series_from_dict(data: dict[str, Any]) -> TimeSeries:
+    """Rebuild a :class:`TimeSeries` from :func:`series_to_dict` output."""
+    series = TimeSeries(data.get("name", ""))
+    for t, v in zip(data["times"], data["values"]):
+        series.record(t, v)
+    return series
+
+
 def result_to_dict(result: RunResult) -> dict[str, Any]:
-    """A JSON-friendly view of a complete run."""
+    """A JSON-friendly view of a complete run.
+
+    Every ``RunResult`` field survives (see :func:`result_from_dict`),
+    including the fault/recovery scalars, the overload scalars and
+    series, and the frozen observability report. The derived scalars
+    (``final_throughput`` etc.) are included for external tooling but
+    ignored on the way back in.
+    """
     return {
         "name": result.name,
         "policy": result.policy,
@@ -43,6 +58,8 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
         "reroute_fraction": result.reroute_fraction(),
         "block_events": result.block_events,
         "final_weights": list(result.final_weights),
+        "rerouted": result.rerouted,
+        "total_sent": result.total_sent,
         "throughput": series_to_dict(result.throughput_series),
         "latency": series_to_dict(result.latency_series),
         "weights": [series_to_dict(s) for s in result.weight_series],
@@ -51,12 +68,134 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
             {"time": t, "clusters": [list(c) for c in clusters]}
             for t, clusters in result.cluster_snapshots
         ],
+        # Fault/recovery metrics (PR 2).
+        "quarantines": result.quarantines,
+        "time_to_quarantine": result.time_to_quarantine,
+        "time_to_reconverge": result.time_to_reconverge,
+        "tuples_replayed": result.tuples_replayed,
+        "tuples_lost": result.tuples_lost,
+        # Overload metrics and series (PR 3).
+        "tuples_offered": result.tuples_offered,
+        "tuples_shed": result.tuples_shed,
+        "max_input_queue": result.max_input_queue,
+        "max_merger_pending": result.max_merger_pending,
+        "flow_pauses": result.flow_pauses,
+        "flow_paused_seconds": result.flow_paused_seconds,
+        "overload_trips": result.overload_trips,
+        "overload_seconds": result.overload_seconds,
+        "safe_mode_rounds": result.safe_mode_rounds,
+        "oscillation_trips": result.oscillation_trips,
+        "queue_series": (
+            None if result.queue_series is None
+            else series_to_dict(result.queue_series)
+        ),
+        "pending_series": (
+            None if result.pending_series is None
+            else series_to_dict(result.pending_series)
+        ),
+        "p99_latency_series": (
+            None if result.p99_latency_series is None
+            else series_to_dict(result.p99_latency_series)
+        ),
+        # Batched-dataplane diagnostics (PR 4).
+        "batches_dispatched": result.batches_dispatched,
+        "batch_occupancy": result.batch_occupancy,
+        "events_coalesced": result.events_coalesced,
+        "events_processed": result.events_processed,
+        "wall_seconds": result.wall_seconds,
+        # Observability report (PR 5).
+        "obs": None if result.obs is None else result.obs.as_dict(),
     }
+
+
+def result_from_dict(data: dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output.
+
+    The inverse of :func:`result_to_dict` up to the derived scalars,
+    which are recomputed from the series rather than stored.
+    """
+    from repro.obs.hub import ObsReport
+
+    def opt_series(key: str) -> TimeSeries | None:
+        value = data.get(key)
+        return None if value is None else series_from_dict(value)
+
+    return RunResult(
+        name=data["name"],
+        policy=data["policy"],
+        n_workers=data["n_workers"],
+        execution_time=data["execution_time"],
+        completed=data["completed"],
+        emitted=data["emitted"],
+        sim_time=data["sim_time"],
+        throughput_series=series_from_dict(data["throughput"]),
+        latency_series=series_from_dict(data["latency"]),
+        weight_series=[series_from_dict(s) for s in data["weights"]],
+        rate_series=[series_from_dict(s) for s in data["blocking_rates"]],
+        cluster_snapshots=[
+            (entry["time"], [list(c) for c in entry["clusters"]])
+            for entry in data.get("clusters", [])
+        ],
+        rerouted=data.get("rerouted", 0),
+        total_sent=data.get("total_sent", 0),
+        block_events=data["block_events"],
+        final_weights=list(data.get("final_weights", [])),
+        quarantines=data.get("quarantines", 0),
+        time_to_quarantine=data.get("time_to_quarantine"),
+        time_to_reconverge=data.get("time_to_reconverge"),
+        tuples_replayed=data.get("tuples_replayed", 0),
+        tuples_lost=data.get("tuples_lost", 0),
+        events_processed=data.get("events_processed", 0),
+        wall_seconds=data.get("wall_seconds", 0.0),
+        tuples_offered=data.get("tuples_offered", 0),
+        tuples_shed=data.get("tuples_shed", 0),
+        max_input_queue=data.get("max_input_queue", 0),
+        max_merger_pending=data.get("max_merger_pending", 0),
+        flow_pauses=data.get("flow_pauses", 0),
+        flow_paused_seconds=data.get("flow_paused_seconds", 0.0),
+        overload_trips=data.get("overload_trips", 0),
+        overload_seconds=data.get("overload_seconds", 0.0),
+        safe_mode_rounds=data.get("safe_mode_rounds", 0),
+        oscillation_trips=data.get("oscillation_trips", 0),
+        queue_series=opt_series("queue_series"),
+        pending_series=opt_series("pending_series"),
+        p99_latency_series=opt_series("p99_latency_series"),
+        batches_dispatched=data.get("batches_dispatched", 0),
+        batch_occupancy=data.get("batch_occupancy", 0.0),
+        events_coalesced=data.get("events_coalesced", 0),
+        obs=(
+            None if data.get("obs") is None
+            else ObsReport.from_dict(data["obs"])
+        ),
+    )
 
 
 def result_to_json(result: RunResult, *, indent: int | None = None) -> str:
     """Serialize a run to a JSON string."""
     return json.dumps(result_to_dict(result), indent=indent)
+
+
+def result_from_json(text: str) -> RunResult:
+    """Rebuild a run from :func:`result_to_json` output."""
+    return result_from_dict(json.loads(text))
+
+
+def obs_audit_csv(result: RunResult) -> str:
+    """CSV of the run's decision audit log (empty string if unobserved)."""
+    from repro.obs.export import audit_to_csv
+
+    if result.obs is None:
+        return ""
+    return audit_to_csv(result.obs)
+
+
+def obs_spans_csv(result: RunResult) -> str:
+    """CSV of the run's spans (empty string if unobserved)."""
+    from repro.obs.export import spans_to_csv
+
+    if result.obs is None:
+        return ""
+    return spans_to_csv(result.obs)
 
 
 def sweep_to_csv(rows: Sequence[SweepRow]) -> str:

@@ -25,6 +25,7 @@ from repro.experiments import figures
 from repro.experiments.results import format_sweep_table
 from repro.experiments.runner import run_experiment
 from repro.experiments.sweep import run_sweep
+from repro.obs.hub import ObservabilityConfig
 
 
 def _cmd_list(_args) -> int:
@@ -34,7 +35,72 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _run_indepth(config, *, times: Sequence[float]) -> int:
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the in-depth commands."""
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="record metrics, the decision audit log, and spans",
+    )
+    parser.add_argument(
+        "--obs-jsonl", metavar="PATH", default=None,
+        help="write the observability event stream as JSONL (implies --obs)",
+    )
+    parser.add_argument(
+        "--obs-prom", metavar="PATH", default=None,
+        help="write a Prometheus text snapshot (implies --obs)",
+    )
+    parser.add_argument(
+        "--obs-console", metavar="SECS", type=float, default=0.0,
+        help="print a console report line every SECS simulated seconds "
+        "(implies --obs)",
+    )
+
+
+def _apply_obs(config, args):
+    """Enable observability on ``config`` when any obs flag was given."""
+    wanted = (
+        getattr(args, "obs", False)
+        or getattr(args, "obs_jsonl", None)
+        or getattr(args, "obs_prom", None)
+        or getattr(args, "obs_console", 0.0) > 0
+    )
+    if not wanted:
+        return config
+    return config.with_observability(ObservabilityConfig(
+        console_interval=args.obs_console,
+        jsonl_path=args.obs_jsonl,
+        prometheus_path=args.obs_prom,
+    ))
+
+
+def _obs_summary(result) -> str:
+    """A few lines digesting the run's observability report."""
+    report = result.obs
+    outcomes: dict[str, int] = {}
+    for record in report.audit:
+        outcomes[record["outcome"]] = outcomes.get(record["outcome"], 0) + 1
+    kinds: dict[str, int] = {}
+    for span in report.spans:
+        kinds[span["kind"]] = kinds.get(span["kind"], 0) + 1
+    lines = [
+        f"observability: {len(report.events)} events, "
+        f"{len(report.audit)} audit rounds, {len(report.spans)} spans, "
+        f"{len(report.metrics)} metric samples",
+    ]
+    if outcomes:
+        pairs = ", ".join(
+            f"{k}={v}" for k, v in sorted(outcomes.items())
+        )
+        lines.append(f"  audit outcomes: {pairs}")
+    if kinds:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        lines.append(f"  span kinds: {pairs}")
+    return "\n".join(lines)
+
+
+def _run_indepth(config, *, times: Sequence[float], args=None) -> int:
+    if args is not None:
+        config = _apply_obs(config, args)
     result = run_experiment(config, "lb-adaptive")
     print(result.summary())
     print()
@@ -42,6 +108,13 @@ def _run_indepth(config, *, times: Sequence[float]) -> int:
         result.weight_series, times=times,
         title="allocation weights over time:",
     ))
+    if result.obs is not None:
+        print()
+        print(_obs_summary(result))
+        if args is not None and args.obs_jsonl:
+            print(f"  wrote events -> {args.obs_jsonl}")
+        if args is not None and args.obs_prom:
+            print(f"  wrote metrics -> {args.obs_prom}")
     return 0
 
 
@@ -51,16 +124,19 @@ def _cmd_figure(args) -> int:
         return _run_indepth(
             figures.fig08_top_config(),
             times=[5, 15, 30, 50, 100, 200, 300, 399],
+            args=args,
         )
     if name in ("fig8-bottom", "fig08-bottom"):
         return _run_indepth(
             figures.fig08_bottom_config(),
             times=[10, 30, 60, 100, 200, 300, 399],
+            args=args,
         )
     if name in ("fig11-top",):
         return _run_indepth(
             figures.fig11_top_config(),
             times=[10, 30, 60, 120, 200, 299],
+            args=args,
         )
     if name in ("fig9", "fig09", "fig10"):
         builder = figures.fig09_config if name != "fig10" else figures.fig10_config
@@ -128,10 +204,11 @@ def _cmd_figure(args) -> int:
     return 2
 
 
-def _cmd_demo(_args) -> int:
+def _cmd_demo(args) -> int:
     return _run_indepth(
         figures.fig08_top_config(duration=200.0),
         times=[5, 15, 25, 50, 100, 150, 199],
+        args=args,
     )
 
 
@@ -158,10 +235,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure = sub.add_parser("figure", help="run one figure's experiments")
     figure.add_argument("id", help="figure id, e.g. fig8-top, fig12, sec44")
+    _add_obs_flags(figure)
     figure.set_defaults(func=_cmd_figure)
-    sub.add_parser("demo", help="a two-minute demonstration").set_defaults(
-        func=_cmd_demo
-    )
+    demo = sub.add_parser("demo", help="a two-minute demonstration")
+    _add_obs_flags(demo)
+    demo.set_defaults(func=_cmd_demo)
     sweep = sub.add_parser("sweep", help="custom half-10x-loaded sweep")
     sweep.add_argument("--pes", default="2,4,8", help="comma-separated PE counts")
     sweep.add_argument("--dynamic", action="store_true",

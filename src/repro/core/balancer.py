@@ -38,6 +38,8 @@ from repro.core.clustering import DEFAULT_DELTA, cluster_functions
 from repro.core.constraints import WeightConstraints
 from repro.core.rap import solve_minimax_binary_search, solve_minimax_fox
 from repro.core.rate_function import DEFAULT_RESOLUTION, BlockingRateFunction
+from repro.obs.audit import ControlRoundRecord, DecisionAuditLog
+from repro.util.perf import COUNTERS
 from repro.util.validation import (
     check_fraction,
     check_non_negative,
@@ -281,6 +283,11 @@ class LoadBalancer:
         #: Weights before the most recent adoption (for flip detection).
         self._prev_weights: list[int] | None = None
         self._flip_streak = 0
+        #: Decision audit log (observability; None = not recording).
+        self._audit: DecisionAuditLog | None = None
+        self._audit_clock = None
+        self._audit_churn_limited = False
+        self._audit_oscillated = False
 
     @property
     def in_safe_hold(self) -> bool:
@@ -296,6 +303,63 @@ class LoadBalancer:
     def quarantined(self) -> set[int]:
         """Channels currently quarantined (copy)."""
         return set(self._quarantined)
+
+    # ---------------------------------------------------------------- audit
+
+    def attach_audit(self, log: DecisionAuditLog, clock) -> None:
+        """Record every control decision into ``log``.
+
+        ``clock`` is a zero-argument callable returning the current
+        (simulation) time; it stamps the emergency records emitted by
+        :meth:`quarantine`/:meth:`reintegrate`, which carry no ``now``
+        of their own. Regular rounds use their ``update(now, ...)``
+        argument directly.
+        """
+        self._audit = log
+        self._audit_clock = clock
+
+    def _emit_audit(
+        self,
+        now: float,
+        outcome: str,
+        old_weights: list[int],
+        counters0: tuple[int, int],
+        *,
+        trigger: str = "periodic",
+        round_no: int | None = None,
+        rates: Sequence[float] = (),
+        candidate: Sequence[int] = (),
+        decayed: Sequence[int] = (),
+    ) -> None:
+        # Solver-call / model-fit deltas: the process-global model
+        # counters snapshotted at round entry vs. now attribute the
+        # work to this round (valid because rounds never interleave).
+        record = ControlRoundRecord(
+            round=self.rounds - 1 if round_no is None else round_no,
+            time=now,
+            trigger=trigger,
+            outcome=outcome,
+            blocking_rates=[float(r) for r in rates],
+            function_values=[
+                self.functions[j].value(w)
+                for j, w in enumerate(old_weights)
+            ],
+            predicted_rates=[
+                self.functions[j].value(w)
+                for j, w in enumerate(self._weights)
+            ],
+            decayed_channels=list(decayed),
+            solver=self.config.solver,
+            solver_calls=COUNTERS.solver_calls - counters0[0],
+            model_fits=COUNTERS.fits - counters0[1],
+            clusters=[list(c) for c in self.last_clusters],
+            quarantined=sorted(self._quarantined),
+            old_weights=list(old_weights),
+            candidate=list(candidate),
+            new_weights=list(self._weights),
+            churn_limited=self._audit_churn_limited,
+        )
+        self._audit.append(record)
 
     # ------------------------------------------------------------- recovery
 
@@ -314,6 +378,8 @@ class LoadBalancer:
         """
         if not 0 <= channel < self.n_connections:
             raise ValueError(f"no such channel: {channel}")
+        old_weights = list(self._weights)
+        counters0 = (COUNTERS.solver_calls, COUNTERS.fits)
         self._quarantined.add(channel)
         survivors = self.n_connections - len(self._quarantined)
         if survivors <= 0:
@@ -330,6 +396,17 @@ class LoadBalancer:
         solver = _SOLVERS[self.config.solver]
         evaluators = [fn.table() for fn in self.functions]
         self._weights = solver(evaluators, self.config.resolution, constraints)
+        if self._audit is not None:
+            self._audit_churn_limited = False
+            self._emit_audit(
+                self._audit_clock(),
+                "adopted",
+                old_weights,
+                counters0,
+                trigger="quarantine",
+                round_no=self.rounds,
+                candidate=self._weights,
+            )
         return self.weights
 
     def reintegrate(
@@ -353,11 +430,24 @@ class LoadBalancer:
             raise ValueError(f"no such channel: {channel}")
         if channel not in self._quarantined:
             return
+        old_weights = list(self._weights)
+        counters0 = (COUNTERS.solver_calls, COUNTERS.fits)
         self._quarantined.discard(channel)
         if forget:
             self.functions[channel].forget()
         else:
             self.functions[channel].decay_all(decay)
+        if self._audit is not None:
+            self._audit_churn_limited = False
+            self._emit_audit(
+                self._audit_clock(),
+                "no-change",
+                old_weights,
+                counters0,
+                trigger="reintegrate",
+                round_no=self.rounds,
+                decayed=[channel],
+            )
 
     def update(self, now: float, counters: Sequence[float]) -> list[int] | None:
         """One control round; returns the new weights (``None`` on priming).
@@ -374,17 +464,29 @@ class LoadBalancer:
         additionally filtered for A->B->A oscillation and capped at
         ``max_churn`` units of movement per round.
         """
+        audit = self._audit
+        if audit is not None:
+            audit_old = list(self._weights)
+            counters0 = (COUNTERS.solver_calls, COUNTERS.fits)
+            self._audit_churn_limited = False
+            self._audit_oscillated = False
         safe = self.config.safe_mode
         if safe and not self._counters_sane(now, counters):
             # Garbage in the control inputs would poison the estimator's
             # interval state and the rate functions; drop the sample.
             self._enter_hold()
             self.rounds += 1
+            if audit is not None:
+                self._emit_audit(now, "hold-degenerate", audit_old, counters0)
             return self.weights
         if safe:
             self._last_sample_time = now
         rates = self.estimator.sample(now, counters)
         if rates is None:
+            if audit is not None:
+                self._emit_audit(
+                    now, "primed", audit_old, counters0, round_no=-1
+                )
             return None
         self.last_rates = rates
         if safe and any(not math.isfinite(r) for r in rates):
@@ -393,6 +495,10 @@ class LoadBalancer:
             # reject non-finite observations, so hold instead of crashing.
             self._enter_hold()
             self.rounds += 1
+            if audit is not None:
+                self._emit_audit(
+                    now, "hold-nonfinite-rates", audit_old, counters0
+                )
             return self.weights
         if safe and self._all_saturated(rates):
             # Every live channel is blocking flat out: the *relative*
@@ -400,6 +506,10 @@ class LoadBalancer:
             # blocks everywhere), so re-solving just chases noise.
             self._enter_hold()
             self.rounds += 1
+            if audit is not None:
+                self._emit_audit(
+                    now, "hold-saturated", audit_old, counters0, rates=rates
+                )
             return self.weights
         # Every connection's rate is folded in at its current weight —
         # including zeros. Under drafting a zero can be misleading (the
@@ -413,6 +523,10 @@ class LoadBalancer:
             # Every channel is quarantined: no survivor allocation exists
             # to solve for. Keep the last weights until a reintegration.
             self.rounds += 1
+            if audit is not None:
+                self._emit_audit(
+                    now, "all-quarantined", audit_old, counters0, rates=rates
+                )
             return None
         for j, rate in enumerate(rates):
             if j in quarantined:
@@ -421,11 +535,13 @@ class LoadBalancer:
                 # until reintegration decays it deliberately.
                 continue
             self.functions[j].observe(self._weights[j], rate)
+        decayed: list[int] = []
         if self.config.decay > 0.0:
             for j in range(self.n_connections):
                 if j in quarantined:
                     continue
                 self.functions[j].decay_above(self._weights[j], self.config.decay)
+                decayed.append(j)
         if safe and self._safe_hold:
             # Healthy again, but require a streak before releasing the
             # hold: one good sample amid degenerate ones proves nothing.
@@ -433,6 +549,11 @@ class LoadBalancer:
             if self._healthy_streak < self.config.safe_recover_rounds:
                 self.safe_rounds += 1
                 self.rounds += 1
+                if audit is not None:
+                    self._emit_audit(
+                        now, "hold-recovering", audit_old, counters0,
+                        rates=rates, decayed=decayed,
+                    )
                 return self.weights
             self._safe_hold = False
             self._healthy_streak = 0
@@ -443,7 +564,19 @@ class LoadBalancer:
             if adopted != self._weights:
                 self._prev_weights = list(self._weights)
                 self._weights = adopted
+            outcome = (
+                "hold-oscillation" if self._audit_oscillated else "adopted"
+            )
+        elif candidate == self._weights:
+            outcome = "no-change"
+        else:
+            outcome = "rejected-hysteresis"
         self.rounds += 1
+        if audit is not None:
+            self._emit_audit(
+                now, outcome, audit_old, counters0,
+                rates=rates, candidate=candidate, decayed=decayed,
+            )
         return self.weights
 
     # ------------------------------------------------------------ safe mode
@@ -484,13 +617,16 @@ class LoadBalancer:
                 self.oscillation_trips += 1
                 self._flip_streak = 0
                 self._enter_hold()
+                self._audit_oscillated = True
                 return list(self._weights)
         else:
             self._flip_streak = 0
         if self.config.max_churn is not None:
-            return limit_weight_churn(
+            limited = limit_weight_churn(
                 self._weights, candidate, self.config.max_churn
             )
+            self._audit_churn_limited = limited != candidate
+            return limited
         return candidate
 
     def _accept(self, candidate: list[int]) -> bool:

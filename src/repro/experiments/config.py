@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.balancer import BalancerConfig
 from repro.faults.recovery import RecoveryConfig
 from repro.faults.schedule import FaultSchedule
+from repro.obs.hub import ObservabilityConfig
 from repro.overload.detector import OverloadConfig
 from repro.streams.hosts import Host, Placement
 from repro.streams.region import RegionParams
@@ -125,6 +126,10 @@ class ExperimentConfig:
     #: Detection/shedding/flow-control tunables, used when
     #: ``region.overload_protection`` is on.
     overload: OverloadConfig = field(default_factory=OverloadConfig)
+    #: Exporter/reporter tunables, used when ``region.observability``
+    #: is on (off by default: no recorder is built, golden traces stay
+    #: byte-identical).
+    obs: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     def __post_init__(self) -> None:
         check_positive("n_workers", self.n_workers)
@@ -215,6 +220,22 @@ class ExperimentConfig:
     def with_name(self, name: str) -> "ExperimentConfig":
         """Copy with a different name (sweeps reuse one template)."""
         return replace(self, name=name)
+
+    def with_observability(
+        self, obs: ObservabilityConfig | None = None
+    ) -> "ExperimentConfig":
+        """Copy with the observability recorder enabled.
+
+        Flips ``region.observability`` on and (optionally) replaces the
+        exporter configuration. The copy shares nothing mutable with the
+        original, so a sweep can run instrumented and bare variants of
+        one template side by side.
+        """
+        return replace(
+            self,
+            region=replace(self.region, observability=True),
+            obs=obs if obs is not None else self.obs,
+        )
 
     def with_batch_size(self, batch_size: int) -> "ExperimentConfig":
         """Copy with the region's batched fast path set to ``batch_size``.

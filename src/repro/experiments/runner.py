@@ -37,6 +37,9 @@ from repro.experiments.oracle import (
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RecoveryCoordinator
+from repro.obs.console import ConsoleReporter
+from repro.obs.export import write_exports
+from repro.obs.hub import ObservabilityHub, ObsReport
 from repro.overload.manager import OverloadManager
 from repro.sim.engine import Simulator
 from repro.streams.region import ParallelRegion
@@ -46,6 +49,7 @@ from repro.streams.sources import (
     RatedSource,
     constant_cost,
 )
+from repro.util.perf import COUNTERS
 from repro.util.timeseries import TimeSeries
 
 POLICIES = ("rr", "reroute", "lb-static", "lb-adaptive", "oracle", "fixed")
@@ -133,6 +137,9 @@ class RunResult:
     batch_occupancy: float = 0.0
     #: Per-tuple events the batched dataplane avoided scheduling.
     events_coalesced: int = 0
+    #: Frozen observability report (None unless the run was observed
+    #: via ``RegionParams(observability=True)``).
+    obs: ObsReport | None = None
 
     def shed_ratio(self) -> float:
         """Fraction of offered tuples shed before sequence assignment."""
@@ -213,6 +220,19 @@ class RunResult:
                 f"overloaded={self.overload_seconds:.1f}s"
             )
         return "\n".join(lines)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialize every field to JSON (see ``repro.analysis.export``)."""
+        from repro.analysis.export import result_to_json
+
+        return result_to_json(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Rebuild a run from :meth:`to_json` output."""
+        from repro.analysis.export import result_from_json
+
+        return result_from_json(text)
 
 
 def run_experiment(
@@ -312,6 +332,45 @@ def run_experiment(
         rated_source.arm(
             sim, on_available=region.splitter.notify_available
         )
+
+    # Observability: only built when the region opted in, so default
+    # runs install no recorder anywhere (golden traces byte-identical).
+    hub: ObservabilityHub | None = None
+    if config.region.observability:
+        hub = ObservabilityHub(lambda: sim.now, config.obs)
+        sim.attach_observability(hub)
+        region.attach_observability(hub)
+        # Legacy process-global model counters, routed through the
+        # registry (they tally every balancer in the process; per-round
+        # deltas live on the audit records).
+        hub.registry.gauge_fn(
+            "model_solver_calls_total",
+            lambda: COUNTERS.solver_calls,
+            help="Minimax RAP solver invocations (process-global)",
+        )
+        hub.registry.gauge_fn(
+            "model_fits_total",
+            lambda: COUNTERS.fits,
+            help="Monotone-regression fits (process-global)",
+        )
+        hub.registry.gauge_fn(
+            "model_table_builds_total",
+            lambda: COUNTERS.table_builds,
+            help="Full rate-function table materializations "
+            "(process-global)",
+        )
+        if balancer is not None:
+            balancer.attach_audit(hub.audit, lambda: sim.now)
+            hub.link_round_source(lambda: balancer.rounds)
+        if injector is not None:
+            injector.attach_observability(hub)
+        if recovery is not None:
+            recovery.attach_observability(hub)
+        if overload_mgr is not None:
+            overload_mgr.attach_observability(hub)
+        if config.obs.console_interval > 0:
+            reporter = ConsoleReporter(hub)
+            sim.call_every(config.obs.console_interval, reporter.tick)
 
     if oracle is not None:
         for when, weights in oracle.changes_after(0.0):
@@ -481,6 +540,12 @@ def run_experiment(
     sim.run_until(config.horizon())
     wall_seconds = time.perf_counter() - wall_start
 
+    obs_report: ObsReport | None = None
+    if hub is not None:
+        hub.finalize(sim.now)
+        obs_report = hub.report()
+        write_exports(obs_report, config.obs)
+
     execution_time = (
         region.merger.last_emit_time if completed else None
     )
@@ -544,4 +609,5 @@ def run_experiment(
         queue_series=queue_series,
         pending_series=pending_series,
         p99_latency_series=p99_series,
+        obs=obs_report,
     )

@@ -61,6 +61,28 @@ class FaultInjector:
         self.crashes = 0
         self.restarts = 0
         self.stalls = 0
+        #: Observability hub (None = not recording).
+        self._obs = None
+
+    def attach_observability(self, hub) -> None:
+        """Register fault counters and mirror the log into ``hub``."""
+        self._obs = hub
+        registry = hub.registry
+        registry.gauge_fn(
+            "fault_crashes_total",
+            lambda: self.crashes,
+            help="PE crashes injected",
+        )
+        registry.gauge_fn(
+            "fault_restarts_total",
+            lambda: self.restarts,
+            help="PE restarts injected",
+        )
+        registry.gauge_fn(
+            "fault_stalls_total",
+            lambda: self.stalls,
+            help="Connection stalls injected",
+        )
 
     @property
     def n_channels(self) -> int:
@@ -181,6 +203,13 @@ class FaultInjector:
         self.log.append(
             FaultRecord(self.sim.now, kind, channel, detail)
         )
+        if self._obs is not None:
+            self._obs.event(
+                "fault",
+                kind=kind,
+                channel=-1 if channel is None else channel,
+                detail=detail,
+            )
 
     def last_fault_time(self, channel: int, before: float) -> float | None:
         """Time of the most recent crash/stall on ``channel`` at or before

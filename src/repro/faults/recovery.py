@@ -160,6 +160,37 @@ class RecoveryCoordinator:
         self._last_weights: list[int] | None = None
         self._stable_streak = 0
         self._cancel = None
+        #: Observability hub (None = not recording).
+        self._obs = None
+        #: Open "quarantine" span per quarantined channel.
+        self._quarantine_spans: dict[int, int] = {}
+
+    def attach_observability(self, hub) -> None:
+        """Register recovery instruments and arm episode spans.
+
+        Three span kinds per episode, all derived from the same episode
+        timestamps as the ttq/ttr metrics (so their durations agree by
+        construction): ``detection`` (fault to failover), ``quarantine``
+        (failover to reintegration), and ``reconvergence`` (failover to
+        re-settled weights).
+        """
+        self._obs = hub
+        registry = hub.registry
+        registry.gauge_fn(
+            "recovery_quarantines_total",
+            lambda: len(self.episodes),
+            help="Failover episodes opened",
+        )
+        registry.gauge_fn(
+            "recovery_open_quarantines",
+            lambda: len(self._open),
+            help="Channels currently quarantined",
+        )
+        registry.gauge_fn(
+            "recovery_tuples_lost_total",
+            lambda: sum(e.lost for e in self.episodes),
+            help="Sequence numbers declared lost at failover",
+        )
 
     def start(self, first: float | None = None) -> None:
         """Begin the periodic liveness/heartbeat check."""
@@ -232,6 +263,17 @@ class RecoveryCoordinator:
         self._last_weights = (
             self.balancer.weights if self.balancer is not None else None
         )
+        if self._obs is not None:
+            tracer = self._obs.tracer
+            if episode.fault_at is not None:
+                # Detection span: same endpoints as time_to_quarantine().
+                tracer.record(
+                    "detection", episode.fault_at, now, channel=channel
+                )
+            self._quarantine_spans[channel] = tracer.start(
+                "quarantine", now,
+                channel=channel, replayed=replayed, lost=len(lost),
+            )
         return episode
 
     def reintegrate(self, channel: int) -> None:
@@ -247,6 +289,10 @@ class RecoveryCoordinator:
         episode = self._open.pop(channel, None)
         if episode is not None:
             episode.reintegrated_at = self.sim.now
+            if self._obs is not None:
+                span_id = self._quarantine_spans.pop(channel, None)
+                if span_id is not None:
+                    self._obs.tracer.finish(span_id, self.sim.now)
         # Progress bookkeeping restarts fresh for the revived channel.
         self._last_processed[channel] = (
             self.region.workers[channel].tuples_processed
@@ -336,3 +382,11 @@ class RecoveryCoordinator:
                 and settled_at >= episode.quarantined_at
             ):
                 episode.reconverged_at = max(settled_at, episode.quarantined_at)
+                if self._obs is not None:
+                    # Same endpoints as time_to_reconverge().
+                    self._obs.tracer.record(
+                        "reconvergence",
+                        episode.quarantined_at,
+                        episode.reconverged_at,
+                        channel=episode.channel,
+                    )

@@ -324,6 +324,35 @@ class SocketMiniRegion:
         """Per-connection cumulative blocking counters."""
         return [sender.blocking for sender in self.senders]
 
+    def attach_observability(self, hub) -> None:
+        """Register per-sender transport instruments on ``hub``.
+
+        The one component whose observations are wall-clock, not
+        sim-clock: blocking here is measured with ``time.monotonic``
+        around real ``select`` waits, so these gauges are the only
+        non-deterministic values an observed run can export.
+        """
+        registry = hub.registry
+        for j, sender in enumerate(self.senders):
+            registry.gauge_fn(
+                "socket_frames_sent_total",
+                (lambda s: lambda: s.frames_sent)(sender),
+                help="Frames pushed into the socket",
+                connection=str(j),
+            )
+            registry.gauge_fn(
+                "socket_blocking_seconds_total",
+                (lambda s: lambda: s.blocking.lifetime_seconds)(sender),
+                help="Wall-clock seconds blocked in select (monotonic)",
+                connection=str(j),
+            )
+            registry.gauge_fn(
+                "socket_blocking_episodes_total",
+                (lambda s: lambda: s.blocking.lifetime_episodes)(sender),
+                help="Blocking episodes on the socket",
+                connection=str(j),
+            )
+
     def send_weighted(
         self,
         n_frames: int,

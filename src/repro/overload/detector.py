@@ -111,6 +111,11 @@ class OverloadDetector:
         self._clear_streak = 0
         self._last_now: float | None = None
         self._last_counters: tuple[float, ...] | None = None
+        #: Called with the check time on each healthy->overloaded edge
+        #: (observability hook; None = not recording).
+        self.on_trip = None
+        #: Called with the check time on each overloaded->healthy edge.
+        self.on_clear = None
 
     def observe(
         self,
@@ -170,12 +175,16 @@ class OverloadDetector:
                 self.trips += 1
                 self._trip_streak = 0
                 self._clear_streak = 0
+                if self.on_trip is not None:
+                    self.on_trip(now)
         else:
             self._clear_streak = self._clear_streak + 1 if healthy_check else 0
             if self._clear_streak >= cfg.clear_confirmations:
                 self.overloaded = False
                 self._trip_streak = 0
                 self._clear_streak = 0
+                if self.on_clear is not None:
+                    self.on_clear(now)
         return self.overloaded
 
     def pressure(self, backlog: int | None = None) -> float:

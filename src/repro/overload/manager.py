@@ -67,6 +67,83 @@ class OverloadManager:
                 self.admission = AdmissionController(policy, self.detector)
                 source.admission = self.admission
         self._cancel = None
+        #: Observability hub (None = not recording).
+        self._obs = None
+        self._overload_span = -1
+        self._shed_at_trip = 0
+
+    def attach_observability(self, hub) -> None:
+        """Register overload instruments and arm shed-interval spans.
+
+        Each detector trip opens an ``overload`` span that the matching
+        clear closes; the span carries the tuples shed during the
+        interval, so summed span durations agree with the detector's
+        ``overloaded_seconds`` (to within one check interval at run end,
+        where a still-open span is truncated).
+        """
+        self._obs = hub
+        registry = hub.registry
+        detector = self.detector
+        registry.gauge_fn(
+            "overload_state",
+            lambda: 1.0 if detector.overloaded else 0.0,
+            help="Whether the region is currently declared overloaded",
+        )
+        registry.gauge_fn(
+            "overload_trips_total",
+            lambda: detector.trips,
+            help="Healthy-to-overloaded transitions",
+        )
+        registry.gauge_fn(
+            "overload_seconds_total",
+            lambda: detector.overloaded_seconds,
+            help="Simulated seconds spent overloaded",
+        )
+        registry.gauge_fn(
+            "overload_pressure",
+            detector.pressure,
+            help="Current shed pressure in [0, 1]",
+        )
+        registry.gauge_fn(
+            "admission_tuples_offered_total",
+            lambda: self.tuples_offered,
+            help="Arrivals seen by admission control",
+        )
+        registry.gauge_fn(
+            "admission_tuples_shed_total",
+            lambda: self.tuples_shed,
+            help="Tuples shed before sequence assignment",
+        )
+        registry.gauge_fn(
+            "flow_gate_paused",
+            lambda: 1.0 if self.gate.paused else 0.0,
+            help="Whether merger backpressure is pausing the splitter",
+        )
+        registry.gauge_fn(
+            "flow_gate_pauses_total",
+            lambda: self.gate.pauses,
+            help="Flow-control pause episodes",
+        )
+        if self.source is not None:
+            registry.gauge_fn(
+                "source_backlog",
+                self.source.backlog,
+                help="Arrived tuples not yet pulled by the splitter",
+            )
+        detector.on_trip = self._on_trip
+        detector.on_clear = self._on_clear
+
+    def _on_trip(self, now: float) -> None:
+        self._shed_at_trip = self.tuples_shed
+        self._overload_span = self._obs.tracer.start("overload", now)
+
+    def _on_clear(self, now: float) -> None:
+        if self._overload_span >= 0:
+            self._obs.tracer.finish(
+                self._overload_span, now,
+                shed=self.tuples_shed - self._shed_at_trip,
+            )
+            self._overload_span = -1
 
     def start(self, first: float | None = None) -> None:
         """Begin the periodic detector check."""

@@ -173,6 +173,50 @@ class Simulator:
             events_coalesced=self.events_coalesced,
         )
 
+    def attach_observability(self, hub) -> None:
+        """Register the engine's counters as callback gauges on ``hub``.
+
+        Pure registration: the gauges read live attributes only when the
+        registry is collected, so the event loop itself is untouched.
+        """
+        registry = hub.registry
+        queue = self._queue
+        registry.gauge_fn(
+            "sim_events_processed",
+            lambda: self.events_processed,
+            help="Events fired by the simulator loop",
+        )
+        registry.gauge_fn(
+            "sim_events_coalesced",
+            lambda: self.events_coalesced,
+            help="Per-tuple events the batched dataplane avoided",
+        )
+        registry.gauge_fn(
+            "sim_events_scheduled",
+            lambda: queue.scheduled_total,
+            help="Events ever pushed onto the queue",
+        )
+        registry.gauge_fn(
+            "sim_events_cancelled",
+            lambda: queue.cancellations,
+            help="Events cancelled before firing",
+        )
+        registry.gauge_fn(
+            "sim_heap_compactions",
+            lambda: queue.compactions,
+            help="Times the event heap compacted dead cells",
+        )
+        registry.gauge_fn(
+            "sim_live_events",
+            lambda: len(queue),
+            help="Events currently pending in the queue",
+        )
+        registry.gauge_fn(
+            "sim_clock_seconds",
+            lambda: self._now,
+            help="Current simulated time",
+        )
+
     def enable_tracing(self) -> None:
         """Hash every fired event's ``(time, seq)`` into a golden trace.
 

@@ -80,6 +80,9 @@ class OrderedMerger:
         #: are appended here; the experiment sampler drains it per
         #: interval to track p99 over time.
         self.latency_samples: list[float] | None = None
+        #: When set (observability), per-emit end-to-end latencies are
+        #: additionally recorded into this fixed-bucket histogram.
+        self.latency_histogram = None
 
     @property
     def next_seq(self) -> int:
@@ -90,6 +93,39 @@ class OrderedMerger:
     def pending_count(self) -> int:
         """Tuples held back waiting for predecessors."""
         return len(self._pending)
+
+    def attach_observability(self, hub) -> None:
+        """Register the merger's instruments on ``hub``."""
+        registry = hub.registry
+        self.latency_histogram = registry.histogram(
+            "merger_latency_seconds",
+            help="End-to-end region latency of emitted tuples",
+        )
+        registry.gauge_fn(
+            "merger_tuples_emitted_total",
+            lambda: self.emitted,
+            help="Tuples emitted downstream in order",
+        )
+        registry.gauge_fn(
+            "merger_pending_tuples",
+            lambda: self.pending_count,
+            help="Tuples held back waiting for predecessors",
+        )
+        registry.gauge_fn(
+            "merger_max_pending",
+            lambda: self.max_pending,
+            help="Peak reordering-buffer occupancy",
+        )
+        registry.gauge_fn(
+            "merger_tuples_lost_total",
+            lambda: self.tuples_lost,
+            help="Sequence gaps skipped under the skip gap policy",
+        )
+        registry.gauge_fn(
+            "merger_late_arrivals_total",
+            lambda: self.late_arrivals,
+            help="Tuples arriving after their seq was declared lost",
+        )
 
     def attach_flow_gate(self, gate) -> None:
         """Report pending-buffer occupancy to a flow-control ``gate``.
@@ -242,6 +278,8 @@ class OrderedMerger:
             self.latency_count += 1
             if self.latency_samples is not None:
                 self.latency_samples.append(now - tup.born_at)
+            if self.latency_histogram is not None:
+                self.latency_histogram.observe(now - tup.born_at)
         if self.on_emit is not None:
             self.on_emit(tup)
         self._check_completion()

@@ -71,6 +71,12 @@ class RegionParams:
     #: per-tuple constant factor at the cost of coarser micro-timing (see
     #: EXPERIMENTS.md, "Batching").
     batch_size: int = 1
+    #: Attach the observability subsystem (:mod:`repro.obs`): metrics
+    #: registry, decision audit log, span tracing, and exporters. Off by
+    #: default — no recorder is installed, every instrumentation check
+    #: short-circuits on ``None``, and golden traces are byte-identical
+    #: to a region without observability support.
+    observability: bool = False
 
     def __post_init__(self) -> None:
         check_positive("send_capacity", self.send_capacity)
@@ -175,6 +181,51 @@ class ParallelRegion:
     def blocking_counters(self) -> list["BlockingCounter"]:
         """Per-connection cumulative blocking counters, in worker order."""
         return [conn.blocking for conn in self.connections]
+
+    def attach_observability(self, hub) -> None:
+        """Wire the observability hub through the whole dataplane.
+
+        Registers splitter/merger/worker/connection instruments and arms
+        span recording. Idempotent per hub (re-registration returns the
+        existing instruments); never called unless
+        ``RegionParams(observability=True)`` opted the run in.
+        """
+        self.splitter.attach_observability(hub)
+        self.merger.attach_observability(hub)
+        registry = hub.registry
+        for j, conn in enumerate(self.connections):
+            registry.gauge_fn(
+                "connection_blocking_seconds_total",
+                (lambda c: lambda: c.blocking.lifetime_seconds)(conn),
+                help="Lifetime splitter blocking charged to the connection",
+                connection=str(j),
+            )
+            registry.gauge_fn(
+                "connection_blocking_episodes_total",
+                (lambda c: lambda: c.blocking.lifetime_episodes)(conn),
+                help="Lifetime blocking episodes on the connection",
+                connection=str(j),
+            )
+        for worker in self.workers:
+            label = str(worker.pe_id)
+            registry.gauge_fn(
+                "worker_tuples_processed_total",
+                (lambda w: lambda: w.tuples_processed)(worker),
+                help="Tuples fully processed by the PE",
+                worker=label,
+            )
+            registry.gauge_fn(
+                "worker_busy_seconds_total",
+                (lambda w: lambda: w.busy_seconds)(worker),
+                help="Seconds the PE spent servicing tuples",
+                worker=label,
+            )
+            registry.gauge_fn(
+                "worker_alive",
+                (lambda w: lambda: 1.0 if w.alive else 0.0)(worker),
+                help="Whether the PE process is up",
+                worker=label,
+            )
 
     def start(self, at: float = 0.0) -> None:
         """Begin streaming at simulated time ``at``."""

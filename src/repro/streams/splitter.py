@@ -170,11 +170,75 @@ class Splitter:
         self._try_send_cb = (
             self._try_send if self.batch_size == 1 else self._try_send_batch
         )
+        #: Observability hub (None = not recording). Checked only on
+        #: episodic branches — blocking, flow pauses, batch boundaries —
+        #: never per tuple.
+        self._obs = None
+        self._block_hist = None
+        self._block_span = -1
+        self._batch_span = -1
+        self._flow_span = -1
 
     @property
     def tuples_sent(self) -> int:
         """Total tuples pushed into connections so far."""
         return sum(self.sent_per_connection)
+
+    def attach_observability(self, hub) -> None:
+        """Register instruments and start recording episode spans."""
+        self._obs = hub
+        registry = hub.registry
+        self._block_hist = registry.histogram(
+            "splitter_blocking_seconds",
+            help="Per-episode splitter blocking durations",
+        )
+        registry.gauge_fn(
+            "splitter_tuples_sent_total",
+            lambda: self.tuples_sent,
+            help="Tuples pushed into connections",
+        )
+        for j in range(len(self.connections)):
+            registry.gauge_fn(
+                "splitter_connection_tuples_sent_total",
+                (lambda jj: lambda: self.sent_per_connection[jj])(j),
+                help="Tuples pushed into one connection",
+                connection=str(j),
+            )
+        registry.gauge_fn(
+            "splitter_block_events_total",
+            lambda: self.block_events,
+            help="Blocking episodes across all connections",
+        )
+        registry.gauge_fn(
+            "splitter_rerouted_total",
+            lambda: self.rerouted,
+            help="Tuples re-routed away from the policy's pick",
+        )
+        registry.gauge_fn(
+            "splitter_fault_reroutes_total",
+            lambda: self.fault_reroutes,
+            help="Policy picks redirected away from a dead channel",
+        )
+        registry.gauge_fn(
+            "splitter_tuples_replayed_total",
+            lambda: self.tuples_replayed,
+            help="Tuples queued for replay after channel failures",
+        )
+        registry.gauge_fn(
+            "splitter_flow_paused_seconds",
+            lambda: self.flow_paused_seconds,
+            help="Seconds paused by merger flow control",
+        )
+        registry.gauge_fn(
+            "splitter_batches_dispatched_total",
+            lambda: self.dispatch_stats.batches,
+            help="Batched dispatch cycles completed",
+        )
+        registry.gauge_fn(
+            "splitter_batch_mean_occupancy",
+            lambda: self.dispatch_stats.mean_occupancy,
+            help="Mean tuples per dispatched batch",
+        )
 
     @property
     def fault_tolerant(self) -> bool:
@@ -213,6 +277,9 @@ class Splitter:
         if self._flow_park_start is not None:
             self.flow_paused_seconds += self.sim.now - self._flow_park_start
             self._flow_park_start = None
+            if self._obs is not None and self._flow_span >= 0:
+                self._obs.tracer.finish(self._flow_span, self.sim.now)
+                self._flow_span = -1
         self.sim.schedule_after(0.0, self._try_send_cb)
 
     # ------------------------------------------------------------- recovery
@@ -307,9 +374,7 @@ class Splitter:
         # would never end (this is exactly the deadlock being fixed).
         elif self._block_start is not None and self._target == channel:
             self.connections[channel].cancel_wait()
-            blocked = self.sim.now - self._block_start
-            self._block_start = None
-            self.connections[channel].blocking.add(blocked)
+            self._end_block(channel)
             self._target = None
             self.sim.schedule_after(0.0, self._try_send_cb)
         elif self._pending is not None and self._target == channel:
@@ -364,6 +429,10 @@ class Splitter:
                 self._parked_flow = True
                 if self._flow_park_start is None:
                     self._flow_park_start = self.sim.now
+                    if self._obs is not None:
+                        self._flow_span = self._obs.tracer.start(
+                            "flow_pause", self._flow_park_start
+                        )
                 return
             if self._replay:
                 tup = self._replay.popleft()
@@ -414,8 +483,7 @@ class Splitter:
 
         # Elect to block on the originally chosen connection, recording for
         # how long (the MSG_DONTWAIT + select dance of Section 3).
-        self.block_events += 1
-        self._block_start = self.sim.now
+        self._begin_block(target)
         self.connections[target].wait_for_send_space(self._on_send_space)
 
     def _live_alternative(self, dead: int) -> int | None:
@@ -427,12 +495,32 @@ class Splitter:
                 return candidate
         return None
 
-    def _on_send_space(self) -> None:
-        target = self._target
-        assert target is not None and self._block_start is not None
+    def _begin_block(self, target: int) -> None:
+        """Open a blocking episode on ``target`` (span + counters)."""
+        self.block_events += 1
+        self._block_start = self.sim.now
+        obs = self._obs
+        if obs is not None:
+            self._block_span = obs.tracer.start(
+                "blocking", self._block_start, connection=target
+            )
+
+    def _end_block(self, target: int) -> None:
+        """Close the open blocking episode, charging ``target``."""
         blocked = self.sim.now - self._block_start
         self._block_start = None
         self.connections[target].blocking.add(blocked)
+        obs = self._obs
+        if obs is not None:
+            self._block_hist.observe(blocked)
+            if self._block_span >= 0:
+                obs.tracer.finish(self._block_span, self.sim.now)
+                self._block_span = -1
+
+    def _on_send_space(self) -> None:
+        target = self._target
+        assert target is not None and self._block_start is not None
+        self._end_block(target)
         sent = self.connections[target].send_nowait(self._pending)
         if not sent:  # pragma: no cover - wakeup guarantees space
             raise RuntimeError("woken without send space")
@@ -499,8 +587,7 @@ class Splitter:
                 # Elect to block on this connection for the remainder of
                 # the chunk (the MSG_DONTWAIT + select dance of Section 3,
                 # once per partial bulk send instead of once per tuple).
-                self.block_events += 1
-                self._block_start = self.sim.now
+                self._begin_block(target)
                 connection.wait_for_send_space(self._on_send_space_batch)
                 return
             self._chunk_items = None
@@ -512,6 +599,10 @@ class Splitter:
                 self._batch_tuple_count = 0
                 self.dispatch_stats.record(n)
                 self.sim.events_coalesced += n - 1
+                obs = self._obs
+                if obs is not None and self._batch_span >= 0:
+                    obs.tracer.finish(self._batch_span, self.sim.now)
+                    self._batch_span = -1
                 self.sim.schedule_after(
                     self.send_overhead * n, self._try_send_cb
                 )
@@ -526,6 +617,10 @@ class Splitter:
             self._parked_flow = True
             if self._flow_park_start is None:
                 self._flow_park_start = self.sim.now
+                if self._obs is not None:
+                    self._flow_span = self._obs.tracer.start(
+                        "flow_pause", self._flow_park_start
+                    )
             return False
         limit = self.batch_size
         replay = self._replay
@@ -589,6 +684,11 @@ class Splitter:
                     alloc[alt] += alloc[j]
                     alloc[j] = 0
         self._batch_tuple_count = len(batch)
+        obs = self._obs
+        if obs is not None:
+            self._batch_span = obs.tracer.start(
+                "batch_dispatch", self.sim.now, tuples=len(batch)
+            )
         start = self._batch_rotation
         self._batch_rotation = (start + 1) % n
         chunks = self._chunks
@@ -604,9 +704,7 @@ class Splitter:
     def _on_send_space_batch(self) -> None:
         target = self._target
         assert target is not None and self._block_start is not None
-        blocked = self.sim.now - self._block_start
-        self._block_start = None
-        self.connections[target].blocking.add(blocked)
+        self._end_block(target)
         self._try_send_batch()
 
     def _reset_batch_dispatch(self) -> None:
@@ -623,9 +721,7 @@ class Splitter:
         target = self._target
         if self._block_start is not None and target is not None:
             self.connections[target].cancel_wait()
-            blocked = self.sim.now - self._block_start
-            self._block_start = None
-            self.connections[target].blocking.add(blocked)
+            self._end_block(target)
         leftovers: "list[StreamTuple]" = []
         if self._chunk_items is not None:
             leftovers.extend(self._chunk_items[self._chunk_pos :])
@@ -636,5 +732,9 @@ class Splitter:
         self._chunk_pos = 0
         self._target = None
         self._batch_tuple_count = 0
+        obs = self._obs
+        if obs is not None and self._batch_span >= 0:
+            obs.tracer.finish(self._batch_span, self.sim.now, aborted=True)
+            self._batch_span = -1
         self._replay.extendleft(reversed(leftovers))
         self.sim.schedule_after(0.0, self._try_send_cb)

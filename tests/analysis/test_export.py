@@ -1,18 +1,30 @@
 """Tests for JSON/CSV export of results."""
 
 import csv
+import dataclasses
 import io
 import json
 
 from repro.analysis.export import (
+    obs_audit_csv,
+    obs_spans_csv,
+    result_from_dict,
+    result_from_json,
     result_to_dict,
     result_to_json,
+    series_from_dict,
     series_to_csv,
+    series_to_dict,
     sweep_to_csv,
 )
-from repro.experiments.config import ExperimentConfig, HostSpec
+from repro.experiments.config import (
+    ExperimentConfig,
+    HostSpec,
+    fault_recovery_scenario,
+    overload_scenario,
+)
 from repro.experiments.results import SweepRow
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import RunResult, run_experiment
 from repro.util.timeseries import TimeSeries
 
 
@@ -27,6 +39,35 @@ def quick_result():
         splitter_cost_multiplies=125.0,
     )
     return run_experiment(config, "lb-adaptive")
+
+
+def series_equal(a, b):
+    if a is None or b is None:
+        return a is None and b is None
+    return a.name == b.name and a.times == b.times and a.values == b.values
+
+
+def assert_results_equal(a: RunResult, b: RunResult) -> None:
+    """Field-by-field equality of two results (series compared by data)."""
+    series_fields = {
+        "throughput_series", "latency_series", "queue_series",
+        "pending_series", "p99_latency_series",
+    }
+    series_list_fields = {"weight_series", "rate_series"}
+    for f in dataclasses.fields(RunResult):
+        x, y = getattr(a, f.name), getattr(b, f.name)
+        if f.name in series_fields:
+            assert series_equal(x, y), f.name
+        elif f.name in series_list_fields:
+            assert len(x) == len(y), f.name
+            assert all(series_equal(p, q) for p, q in zip(x, y)), f.name
+        elif f.name == "obs":
+            if x is None or y is None:
+                assert x is None and y is None, f.name
+            else:
+                assert x.as_dict() == y.as_dict(), f.name
+        else:
+            assert x == y, f.name
 
 
 class TestResultExport:
@@ -51,6 +92,96 @@ class TestResultExport:
         # json.dumps would raise on anything exotic; indent path too.
         text = result_to_json(quick_result(), indent=2)
         assert text.startswith("{")
+
+
+class TestSeriesRoundTrip:
+    def test_round_trip(self):
+        s = TimeSeries("demo")
+        s.record(0.0, 1.5)
+        s.record(2.0, -3.0)
+        clone = series_from_dict(series_to_dict(s))
+        assert series_equal(s, clone)
+
+    def test_empty_series(self):
+        clone = series_from_dict(series_to_dict(TimeSeries("empty")))
+        assert clone.name == "empty"
+        assert len(clone) == 0
+
+
+class TestResultRoundTrip:
+    """Every RunResult field must survive to_json -> from_json.
+
+    This pins the fault/recovery scalars (PR 2), the overload scalars
+    and optional series (PR 3), the batching diagnostics (PR 4), and
+    the observability report (PR 5) — the fields most at risk of being
+    silently dropped because the exporter predates them.
+    """
+
+    def test_plain_run(self):
+        result = quick_result()
+        assert_results_equal(result, RunResult.from_json(result.to_json()))
+
+    def test_fault_recovery_run_keeps_recovery_fields(self):
+        result = run_experiment(
+            fault_recovery_scenario(duration=40.0), "lb-adaptive"
+        )
+        assert result.quarantines == 1  # the scenario did crash
+        clone = RunResult.from_json(result.to_json())
+        assert clone.quarantines == result.quarantines
+        assert clone.time_to_quarantine == result.time_to_quarantine
+        assert clone.time_to_reconverge == result.time_to_reconverge
+        assert clone.tuples_replayed == result.tuples_replayed
+        assert clone.tuples_lost == result.tuples_lost
+        assert_results_equal(result, clone)
+
+    def test_overload_run_keeps_overload_fields_and_series(self):
+        result = run_experiment(
+            overload_scenario(duration=30.0), "lb-adaptive"
+        )
+        assert result.tuples_offered > 0
+        assert result.queue_series is not None
+        clone = RunResult.from_json(result.to_json())
+        assert clone.tuples_shed == result.tuples_shed
+        assert clone.overload_seconds == result.overload_seconds
+        assert series_equal(clone.queue_series, result.queue_series)
+        assert series_equal(clone.pending_series, result.pending_series)
+        assert series_equal(
+            clone.p99_latency_series, result.p99_latency_series
+        )
+        assert_results_equal(result, clone)
+
+    def test_observed_run_keeps_obs_report(self):
+        result = run_experiment(
+            fault_recovery_scenario(duration=30.0).with_observability(),
+            "lb-adaptive",
+        )
+        assert result.obs is not None
+        clone = RunResult.from_json(result.to_json())
+        assert clone.obs.as_dict() == result.obs.as_dict()
+        assert_results_equal(result, clone)
+
+    def test_round_trip_is_stable(self):
+        text = quick_result().to_json()
+        assert RunResult.from_json(text).to_json() == text
+
+
+class TestObsCsvHelpers:
+    def test_unobserved_run_yields_empty(self):
+        result = quick_result()
+        assert obs_audit_csv(result) == ""
+        assert obs_spans_csv(result) == ""
+
+    def test_observed_run_yields_tables(self):
+        result = run_experiment(
+            fault_recovery_scenario(duration=30.0).with_observability(),
+            "lb-adaptive",
+        )
+        audit = list(csv.reader(io.StringIO(obs_audit_csv(result))))
+        spans = list(csv.reader(io.StringIO(obs_spans_csv(result))))
+        assert audit[0][0] == "round"
+        assert len(audit) == len(result.obs.audit) + 1
+        assert spans[0][0] == "span_id"
+        assert len(spans) == len(result.obs.spans) + 1
 
 
 class TestSweepCsv:

@@ -1,0 +1,20 @@
+"""Shared fixtures for the whole test suite."""
+
+import pytest
+
+from repro.util.perf import COUNTERS, reset_counters
+
+
+@pytest.fixture(autouse=True)
+def _isolate_model_counters():
+    """Zero the process-global model counters around every test.
+
+    ``repro.util.perf.COUNTERS`` is process-global by design (benches
+    want cheap, always-on tallies), which means any test that runs a
+    balancer or fits a rate function bumps state visible to every later
+    test. Resetting before *and* after keeps counter-asserting tests
+    order-independent and keeps the globals clean for whoever runs next.
+    """
+    reset_counters()
+    yield COUNTERS
+    reset_counters()
