@@ -24,6 +24,14 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.util.arrays import HAVE_NUMPY, numpy
+
+#: Width at which :meth:`WeightedPolicy.allocate_batch` switches to the
+#: vectorized (numpy) apportionment. Below it the scalar loop wins; the
+#: two paths are bit-identical (pinned by tests), so the threshold is a
+#: pure performance knob.
+VECTOR_MIN_CONNECTIONS = 32
+
 
 class RoundRobinPolicy:
     """Cycle through connections 0..N-1 forever."""
@@ -115,6 +123,15 @@ class WeightedPolicy:
         # and their sum once per change instead of filtering per pick.
         self._active = [(j, w) for j, w in enumerate(cleaned) if w]
         self._total = sum(w for _, w in self._active)
+        self._active_idx = [j for j, _ in self._active]
+        if HAVE_NUMPY:
+            # Column form of the active weights for the vectorized
+            # apportionment (float64: exact for any realistic weight).
+            self._active_weights = numpy.array(
+                [w for _, w in self._active], dtype=numpy.float64
+            )
+        else:
+            self._active_weights = None
 
     def next_connection(self) -> int:
         """Pick by smooth weighted round-robin."""
@@ -146,10 +163,15 @@ class WeightedPolicy:
         alloc = [0] * self.n_connections
         if count == 0:
             return alloc
+        if HAVE_NUMPY and len(self._active) >= VECTOR_MIN_CONNECTIONS:
+            return self._allocate_batch_vector(count, alloc)
+        return self._allocate_batch_scalar(count, alloc)
+
+    def _allocate_batch_scalar(self, count: int, alloc: list[int]) -> list[int]:
+        """Reference apportionment loop (and the numpy-absent fallback)."""
         credits = self._batch_credits
         total = self._total
         assigned = 0
-        remainders: list[tuple[float, int]] = []
         for j, w in self._active:
             share = credits[j] + count * w / total
             floor = int(share)
@@ -164,14 +186,50 @@ class WeightedPolicy:
             alloc[j] = floor
             assigned += floor
             credits[j] = share - floor
-            remainders.append((share - floor, j))
-        # Clamping floors to zero breaks the textbook largest-remainder
-        # invariant that the floors sum to at most ``count`` with fewer
-        # leftovers than connections: with mixed debit/credit carries the
-        # floors can overshoot ``count``, and the shortfall can exceed the
-        # connection count. Settle the difference by cycling over the
-        # remainder ordering until the allocation sums exactly to
-        # ``count`` — one pass in the unclamped common case.
+        if assigned != count:
+            self._settle(alloc, assigned, count)
+        return alloc
+
+    def _allocate_batch_vector(self, count: int, alloc: list[int]) -> list[int]:
+        """Vectorized apportionment — bit-identical to the scalar loop.
+
+        Every elementwise expression mirrors the scalar arithmetic
+        literally (``credits[j] + count * w / total``, true floor, clamp
+        at zero), so realized allocations and carried credits match the
+        fallback to the last bit — the equality tests pin this. The rare
+        settling pass stays in Python: it is ordering-sensitive and off
+        the common path.
+        """
+        active_idx = self._active_idx
+        credits_all = self._batch_credits
+        credits = numpy.array(
+            [credits_all[j] for j in active_idx], dtype=numpy.float64
+        )
+        shares = credits + (count * self._active_weights) / self._total
+        floors = numpy.floor(shares)
+        numpy.maximum(floors, 0.0, out=floors)
+        remainders = shares - floors
+        assigned = int(floors.sum())
+        for i, j in enumerate(active_idx):
+            credits_all[j] = remainders[i]
+            alloc[j] = int(floors[i])
+        if assigned != count:
+            self._settle(alloc, assigned, count)
+        return alloc
+
+    def _settle(self, alloc: list[int], assigned: int, count: int) -> None:
+        """Cycle leftover/excess tuples over the remainder ordering.
+
+        Clamping floors to zero breaks the textbook largest-remainder
+        invariant that the floors sum to at most ``count`` with fewer
+        leftovers than connections: with mixed debit/credit carries the
+        floors can overshoot ``count``, and the shortfall can exceed the
+        connection count. Settle the difference by cycling over the
+        remainder ordering until the allocation sums exactly to ``count``
+        — the unclamped common case never gets here.
+        """
+        credits = self._batch_credits
+        remainders = [(credits[j], j) for j, _ in self._active]
         if assigned < count:
             # Hand leftover tuples to the largest fractional remainders,
             # lowest index first on ties (deterministic).
@@ -184,7 +242,7 @@ class WeightedPolicy:
                     leftover -= 1
                     if not leftover:
                         break
-        elif assigned > count:
+        else:
             # Take the excess back from the smallest remainders, skipping
             # connections with nothing allocated; sum(alloc) > count
             # guarantees each pass finds at least one donor.
@@ -198,7 +256,6 @@ class WeightedPolicy:
                         excess -= 1
                         if not excess:
                             break
-        return alloc
 
     def reroute_candidates(self, blocked: int) -> Iterable[int]:
         """Weighted policy elects to block, never reroutes (Section 4.4)."""

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.streams.tuples import TupleBlock
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -107,8 +108,13 @@ class FaultInjector:
             # both. A batched PE revokes its whole run; requeue it back
             # to front in reverse so the head keeps the oldest tuple.
             run = revoked if isinstance(revoked, list) else [revoked]
-            for tup in reversed(run):
-                connection.requeue_front(tup)
+            if run and type(run[0]) is TupleBlock:
+                # Block-mode run: requeue whole blocks.
+                for block in reversed(run):
+                    connection.requeue_front_run(block)
+            else:
+                for tup in reversed(run):
+                    connection.requeue_front(tup)
         connection.stall()
         self.crashes += 1
         self._record("crash", worker)

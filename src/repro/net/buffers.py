@@ -140,3 +140,169 @@ class BoundedBuffer(Generic[T]):
         if not self._items:
             raise IndexError("peek into empty buffer")
         return self._items[0]
+
+
+class RunBuffer:
+    """A bounded FIFO of :class:`~repro.streams.tuples.TupleBlock` runs.
+
+    The block-native dataplane's buffer: capacity, occupancy and
+    reservations are all denominated in **tuples** — exactly like
+    :class:`BoundedBuffer` — so blocking dynamics (when a send buffer
+    fills, how much a connection holds) are unchanged from the per-tuple
+    engine; only the bookkeeping granularity is coarser. A push that does
+    not fully fit is accepted partially (the caller splits the block at
+    the accepted boundary), and a bounded pop splits the front block, so
+    no operation ever distorts capacity accounting to block granularity.
+    """
+
+    __slots__ = ("capacity", "_runs", "_tuples", "_reserved")
+
+    def __init__(self, capacity: int) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self._runs: deque = deque()
+        self._tuples = 0
+        self._reserved = 0
+
+    def __len__(self) -> int:
+        """Occupancy in tuples (not blocks)."""
+        return self._tuples
+
+    def __bool__(self) -> bool:
+        return self._tuples > 0
+
+    @property
+    def reserved(self) -> int:
+        """Tuples of outstanding space reservations."""
+        return self._reserved
+
+    @property
+    def free_slots(self) -> int:
+        """Tuple slots available for new pushes or reservations."""
+        return self.capacity - self._tuples - self._reserved
+
+    def is_full(self) -> bool:
+        """True when not a single further tuple can be accepted."""
+        return self.capacity - self._tuples - self._reserved <= 0
+
+    def push_run(self, block) -> int:
+        """Accept as much of ``block`` as fits; return tuples accepted.
+
+        A partial accept stores the block's head; the caller keeps the
+        tail (``block.split(accepted)[1]``) — the run-level analogue of a
+        partial ``sendmsg``.
+        """
+        free = self.capacity - self._tuples - self._reserved
+        if free <= 0:
+            return 0
+        count = block.count
+        if count <= free:
+            self._runs.append(block)
+            self._tuples += count
+            return count
+        self._runs.append(block.split(free)[0])
+        self._tuples += free
+        return free
+
+    def reserve_run(self, n: int) -> None:
+        """Claim ``n`` tuple slots for an in-flight run."""
+        if n > self.capacity - self._tuples - self._reserved:
+            raise BufferFullError("cannot reserve space in a full buffer")
+        self._reserved += n
+
+    def push_reserved_run(self, block) -> None:
+        """Deliver a block into slots claimed by :meth:`reserve_run`."""
+        if self._reserved < block.count:
+            raise BufferFullError("push_reserved_run without a reservation")
+        self._reserved -= block.count
+        self._runs.append(block)
+        self._tuples += block.count
+
+    def push_front_run(self, block) -> None:
+        """Put a block back at the head, bypassing the capacity check.
+
+        Crash redelivery, exactly like :meth:`BoundedBuffer.push_front`:
+        the buffer may transiently exceed capacity; flow control absorbs
+        it on the next pump.
+        """
+        self._runs.appendleft(block)
+        self._tuples += block.count
+
+    def transfer_to(self, other: "RunBuffer") -> int:
+        """Move blocks FIFO into ``other`` until its free slots run out.
+
+        The zero-wire-delay pump's whole inner loop in one call: whole
+        blocks move as single deque operations, the block straddling the
+        receiver's free-slot boundary is split exactly where per-tuple
+        flow control would have stopped, and both buffers' tuple counts
+        are settled once. Returns tuples moved (0 when nothing fits or
+        nothing is queued).
+        """
+        free = other.capacity - other._tuples - other._reserved
+        if free <= 0 or not self._tuples:
+            return 0
+        runs = self._runs
+        dst = other._runs
+        moved = 0
+        while runs:
+            block = runs[0]
+            count = block.count
+            if moved + count <= free:
+                runs.popleft()
+                dst.append(block)
+                moved += count
+                if moved == free:
+                    break
+            else:
+                head, tail = block.split(free - moved)
+                runs[0] = tail
+                dst.append(head)
+                moved = free
+                break
+        self._tuples -= moved
+        other._tuples += moved
+        return moved
+
+    def pop_runs(self, max_n: int) -> list:
+        """Remove and return up to ``max_n`` tuples of blocks, in order.
+
+        Whole blocks are popped while they fit; a block straddling the
+        limit is split, its head returned and its tail left at the front.
+        """
+        if max_n <= 0:
+            raise ValueError(f"max_n must be positive, got {max_n}")
+        runs = self._runs
+        if self._tuples <= max_n:
+            # Everything fits — the steady-state take drains the buffer
+            # whole, without per-block boundary checks.
+            out = list(runs)
+            runs.clear()
+            self._tuples = 0
+            return out
+        out = []
+        taken = 0
+        while runs:
+            block = runs[0]
+            count = block.count
+            if taken + count <= max_n:
+                runs.popleft()
+                out.append(block)
+                taken += count
+                if taken == max_n:
+                    break
+            else:
+                head, tail = block.split(max_n - taken)
+                runs[0] = tail
+                out.append(head)
+                taken = max_n
+                break
+        self._tuples -= taken
+        return out
+
+    def clear(self) -> int:
+        """Drop every block and reservation; return tuples dropped."""
+        dropped = self._tuples
+        self._runs.clear()
+        self._tuples = 0
+        self._reserved = 0
+        return dropped

@@ -34,7 +34,7 @@ from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
 from repro.net.blocking import BlockingCounter
-from repro.net.buffers import BoundedBuffer
+from repro.net.buffers import BoundedBuffer, RunBuffer
 from repro.util.validation import check_non_negative
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -54,11 +54,18 @@ class SimulatedConnection:
         wire_delay: float = 0.0,
         batch_transfers: bool = True,
         coalesce_delivery: bool = False,
+        block_mode: bool = False,
     ) -> None:
         check_non_negative("wire_delay", wire_delay)
         self.sim = sim
         self.conn_id = conn_id
         self.wire_delay = wire_delay
+        #: Array-native dataplane: buffers hold contiguous
+        #: :class:`~repro.streams.tuples.TupleBlock` runs (capacity still
+        #: denominated in tuples) and the transport moves whole blocks via
+        #: :meth:`send_run`/:meth:`take_runs`. The per-item APIs
+        #: (``send_nowait``/``take``/...) are not valid in this mode.
+        self.block_mode = block_mode
         #: Coalesce all in-flight transfers started by one pump into a
         #: single arrival event (semantics-preserving; see :meth:`_pump`).
         #: Disable to schedule one event per tuple, as the pre-batching
@@ -70,8 +77,15 @@ class SimulatedConnection:
         #: whole run on its first wakeup. Off by default — per-tuple
         #: notification is the paper-faithful (and golden-traced) behavior.
         self.coalesce_delivery = coalesce_delivery
-        self._send_buffer: BoundedBuffer[Any] = BoundedBuffer(send_capacity)
-        self._recv_buffer: BoundedBuffer[Any] = BoundedBuffer(recv_capacity)
+        if block_mode:
+            self._send_buffer: Any = RunBuffer(send_capacity)
+            self._recv_buffer: Any = RunBuffer(recv_capacity)
+            # Shadow the per-item pump with the block pump so every
+            # internal consumer (unstall, arrivals) moves blocks.
+            self._pump = self._pump_runs
+        else:
+            self._send_buffer = BoundedBuffer(send_capacity)
+            self._recv_buffer = BoundedBuffer(recv_capacity)
         #: Cumulative blocking time charged by the sender (Section 3).
         self.blocking = BlockingCounter()
         #: Called (with no arguments) each time a tuple lands in the
@@ -179,6 +193,145 @@ class SimulatedConnection:
         instead). Not counted in :attr:`tuples_delivered` again.
         """
         self._recv_buffer.push_front(item)
+
+    # ------------------------------------------------- block-mode transport
+
+    def send_run(self, block) -> int:
+        """Bulk send of a tuple block; returns tuples accepted.
+
+        The block-native counterpart of :meth:`send_many`: as much of the
+        block as fits enters the send buffer (the caller keeps the split
+        tail on partial accept), followed by one flow-control pump.
+
+        Steady state — zero wire delay, nothing queued or stalled, and
+        the whole block fits in free receive space — skips the send
+        buffer entirely: the block lands in the receive buffer and the
+        consumer is notified in one step, which is exactly what the
+        push-then-pump sequence would have done block by block.
+        """
+        count = block.count
+        if (
+            count
+            <= (
+                (recv := self._recv_buffer).capacity
+                - recv._tuples
+                - recv._reserved
+            )
+            and not self._send_buffer._tuples
+            and self.wire_delay == 0.0
+            and not self.stalled
+            and not self._pumping
+        ):
+            recv._runs.append(block)
+            recv._tuples += count
+            self.tuples_sent += count
+            self.tuples_delivered += count
+            # No send space was freed (the send buffer stayed empty, so
+            # no waiter can exist) — deliver and return. The consumer's
+            # take cannot re-enter a pump here: with an empty send buffer
+            # take_runs skips it.
+            if self.on_deliver is not None:
+                self.on_deliver()
+            return count
+        accepted = self._send_buffer.push_run(block)
+        if accepted:
+            self.tuples_sent += accepted
+            self._pump_runs()
+        return accepted
+
+    def take_runs(self, max_n: int) -> list:
+        """Remove and return up to ``max_n`` received tuples as blocks.
+
+        The worker's block-mode take: whole blocks, with the boundary
+        block split, then one flow-control pump.
+        """
+        runs = self._recv_buffer.pop_runs(max_n)
+        if runs and self._send_buffer._tuples:
+            # Pump only when queued data can actually advance into the
+            # space just freed: an empty send buffer can neither deliver
+            # nor free send space, so the pump would be a no-op.
+            self._pump_runs()
+        return runs
+
+    def requeue_front_run(self, block) -> None:
+        """Return a taken-but-unprocessed block to the head of the queue."""
+        self._recv_buffer.push_front_run(block)
+
+    def _pump_runs(self) -> None:
+        """Block-mode :meth:`_pump`: move whole runs, notify per delivery.
+
+        Always coalesced: a batched region's worker consumes runs, so one
+        notification per pump round is the only sensible granularity (the
+        per-tuple notification schedule is a ``batch_size=1`` behavior).
+        Capacity accounting is still per tuple — blocks split at the
+        receive buffer's free-slot boundary exactly where per-tuple flow
+        control would have stopped.
+        """
+        if self._pumping or self.stalled:
+            return
+        self._pumping = True
+        freed_send_space = False
+        send_buffer = self._send_buffer
+        recv_buffer = self._recv_buffer
+        try:
+            if self.wire_delay == 0.0:
+                # Move-then-notify rounds: the consumer's take may free
+                # receive space, so loop until a round moves nothing.
+                while True:
+                    moved = send_buffer.transfer_to(recv_buffer)
+                    if moved == 0:
+                        break
+                    freed_send_space = True
+                    self.tuples_delivered += moved
+                    if self.on_deliver is None:
+                        break
+                    self.on_deliver()
+                    if not send_buffer._tuples:
+                        # The consumer drained everything queued; no next
+                        # round can move more.
+                        break
+            else:
+                batch: list | None = None
+                while send_buffer and not recv_buffer.is_full():
+                    for block in send_buffer.pop_runs(recv_buffer.free_slots):
+                        recv_buffer.reserve_run(block.count)
+                        freed_send_space = True
+                        if batch is None:
+                            batch = [block]
+                        else:
+                            batch.append(block)
+                if batch is not None:
+                    generation = self._generation
+                    self.sim.schedule_after(
+                        self.wire_delay,
+                        lambda runs=batch, gen=generation: (
+                            self._arrive_runs(runs, gen)
+                        ),
+                    )
+        finally:
+            self._pumping = False
+        if freed_send_space:
+            self._wake_sender()
+
+    def _arrive_runs(self, runs: list, generation: int) -> None:
+        """Complete delayed in-flight block transfers in one landing.
+
+        The whole pump's worth of blocks lands, the consumer is notified
+        once, then flow control catches up — the block-mode analogue of
+        the coalesced :meth:`_arrive_batch`. A generation mismatch means
+        the transfers died with a failed connection; drop them.
+        """
+        if generation != self._generation:
+            return
+        delivered = 0
+        recv_buffer = self._recv_buffer
+        for block in runs:
+            recv_buffer.push_reserved_run(block)
+            delivered += block.count
+        self.tuples_delivered += delivered
+        if self.on_deliver is not None:
+            self.on_deliver()
+        self._pump_runs()
 
     # ------------------------------------------------------------ inspection
 

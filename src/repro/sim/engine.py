@@ -27,8 +27,9 @@ from __future__ import annotations
 import hashlib
 import struct
 from collections.abc import Callable
+from heapq import heappop, heappush
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import _FREE_LIST_MAX, Event, EventQueue
 from repro.util.perf import PerfCounters
 
 
@@ -80,6 +81,8 @@ class Simulator:
 
     __slots__ = (
         "_queue",
+        "_heap",
+        "_free",
         "_now",
         "_running",
         "_stopped",
@@ -90,6 +93,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self._queue = EventQueue()
+        # Direct aliases of the queue's heap and free list. Both lists are
+        # only ever mutated in place (compaction uses slice assignment),
+        # so the aliases stay valid for the simulator's lifetime and save
+        # an attribute hop per scheduled event.
+        self._heap = self._queue._heap
+        self._free = self._queue._free
         self._now = 0.0
         self._running = False
         self._stopped = False
@@ -107,19 +116,41 @@ class Simulator:
 
     # ----------------------------------------------------------- scheduling
 
+    # The four scheduling entry points inline EventQueue.push / .schedule
+    # (including Event construction via __new__) instead of delegating:
+    # they run once per event on every hot path, and the saved method
+    # dispatch + Event.__init__ frame is a measurable slice of the event
+    # budget (see bench_core_hotpath.py).
+
     def call_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute simulated time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
-        return self._queue.push(time, callback)
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        event = Event.__new__(Event)
+        cell = [time, seq, callback, event, True]
+        event._cell = cell
+        event._queue = queue
+        heappush(self._heap, cell)
+        return event
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` after ``delay`` seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self._queue.push(self._now + delay, callback)
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        event = Event.__new__(Event)
+        cell = [self._now + delay, seq, callback, event, True]
+        event._cell = cell
+        event._queue = queue
+        heappush(self._heap, cell)
+        return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         """Hot-path :meth:`call_at`: no cancellation handle, no allocation."""
@@ -127,13 +158,37 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
-        self._queue.schedule(time, callback)
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        free = self._free
+        if free:
+            cell = free.pop()
+            cell[0] = time
+            cell[1] = seq
+            cell[2] = callback
+            cell[4] = True
+        else:
+            cell = [time, seq, callback, None, True]
+        heappush(self._heap, cell)
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
         """Hot-path :meth:`call_after`: no cancellation handle, no allocation."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self._queue.schedule(self._now + delay, callback)
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        free = self._free
+        if free:
+            cell = free.pop()
+            cell[0] = self._now + delay
+            cell[1] = seq
+            cell[2] = callback
+            cell[4] = True
+        else:
+            cell = [self._now + delay, seq, callback, None, True]
+        heappush(self._heap, cell)
 
     def call_every(
         self,
@@ -239,27 +294,103 @@ class Simulator:
         self._stopped = True
 
     def _run(self, end_time: float) -> None:
-        """Fire all due events in order; the shared core of both run modes."""
+        """Fire all due events in order; the shared core of both run modes.
+
+        The queue's ``pop_due``/``recycle`` pair is inlined into the loop
+        body: at ~1M events/sec the two method frames per event are the
+        single largest remaining cost. ``queue._heap`` and ``queue._free``
+        are hoisted out of the loop — both are mutated strictly in place
+        (:meth:`EventQueue._compact` compacts via slice assignment, never
+        rebinding). The traced branch is a separate loop body so the
+        untraced hot path pays no per-event trace check.
+        ``events_processed`` advances per event (not batched at loop
+        exit) because observability gauges read it mid-run.
+        """
+        if self._trace is not None:
+            self._run_traced(end_time)
+            return
         queue = self._queue
-        pop_due = queue.pop_due
-        recycle = queue.recycle
-        trace = self._trace
-        pack = struct.Struct("<dq").pack if trace is not None else None
+        heap = queue._heap
+        free = self._free
+        pop = heappop
         self._running = True
         self._stopped = False
         try:
             while not self._stopped:
-                cell = pop_due(end_time)
-                if cell is None:
+                # Inline EventQueue.pop_due(end_time).
+                while True:
+                    if not heap:
+                        return
+                    cell = heap[0]
+                    if cell[2] is None:
+                        pop(heap)
+                        queue._dead -= 1
+                        continue
+                    if cell[0] > end_time:
+                        return
+                    pop(heap)
                     break
+                cell[4] = False
                 self._now = cell[0]
                 self.events_processed += 1
-                if trace is not None:
-                    trace.update(pack(cell[0], cell[1]))
                 callback = cell[2]
-                if cell[3] is None:
-                    # Handle-less cell: no reference escaped, safe to reuse.
-                    recycle(cell)
+                handle = cell[3]
+                if handle is None:
+                    # Handle-less cell: no reference escaped, safe to
+                    # reuse (inline EventQueue.recycle).
+                    if len(free) < _FREE_LIST_MAX:
+                        cell[2] = None
+                        free.append(cell)
+                elif type(handle) is Event:
+                    # The cell and its handle reference each other; once
+                    # fired the pair would be cyclic garbage only the
+                    # cycle collector could reclaim. Dropping the
+                    # back-reference here lets plain refcounting free
+                    # both the moment the caller lets go of the handle.
+                    # The cell itself is NOT recycled: the handle may
+                    # still be held, and a stale cancel() must stay a
+                    # no-op (guarded by the alive flag).
+                    cell[3] = None
+                callback()
+        finally:
+            self._running = False
+
+    def _run_traced(self, end_time: float) -> None:
+        """:meth:`_run` with the golden-trace hash folded into the loop."""
+        queue = self._queue
+        heap = queue._heap
+        free = self._free
+        pop = heappop
+        trace = self._trace
+        pack = struct.Struct("<dq").pack
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                while True:
+                    if not heap:
+                        return
+                    cell = heap[0]
+                    if cell[2] is None:
+                        pop(heap)
+                        queue._dead -= 1
+                        continue
+                    if cell[0] > end_time:
+                        return
+                    pop(heap)
+                    break
+                cell[4] = False
+                self._now = cell[0]
+                self.events_processed += 1
+                trace.update(pack(cell[0], cell[1]))
+                callback = cell[2]
+                handle = cell[3]
+                if handle is None:
+                    if len(free) < _FREE_LIST_MAX:
+                        cell[2] = None
+                        free.append(cell)
+                elif type(handle) is Event:
+                    cell[3] = None
                 callback()
         finally:
             self._running = False

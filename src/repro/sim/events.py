@@ -89,7 +89,7 @@ class EventQueue:
     __slots__ = (
         "_heap",
         "_seq",
-        "_live",
+        "_dead",
         "_free",
         "compactions",
         "cancellations",
@@ -98,7 +98,11 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[list] = []
         self._seq = 0
-        self._live = 0
+        # Cancelled-but-unpopped entries still sitting in the heap. The
+        # live count is derived (len(heap) - dead) so the per-event
+        # schedule/pop paths maintain no counter at all — only the rare
+        # cancellation path touches it.
+        self._dead = 0
         self._free: list[list] = []
         #: Heap rebuilds triggered by cancelled-entry pile-up (diagnostic).
         self.compactions = 0
@@ -107,7 +111,7 @@ class EventQueue:
 
     def __len__(self) -> int:
         """Number of *live* (scheduled, not cancelled) events."""
-        return self._live
+        return len(self._heap) - self._dead
 
     @property
     def scheduled_total(self) -> int:
@@ -124,7 +128,6 @@ class EventQueue:
         event = Event(cell, self)
         cell[3] = event
         heappush(self._heap, cell)
-        self._live += 1
         return event
 
     def schedule(self, time: float, callback: Callable[[], None]) -> None:
@@ -146,7 +149,6 @@ class EventQueue:
         else:
             cell = [time, seq, callback, None, True]
         heappush(self._heap, cell)
-        self._live += 1
 
     def repush(self, cell: list, time: float) -> None:
         """Re-arm a previously fired cell at ``time`` (reusable timers).
@@ -160,7 +162,6 @@ class EventQueue:
         cell[1] = seq
         cell[4] = True
         heappush(self._heap, cell)
-        self._live += 1
 
     def new_cell(
         self, time: float, callback: Callable[[], None], owner: object
@@ -175,7 +176,6 @@ class EventQueue:
         self._seq = seq + 1
         cell = [time, seq, callback, owner, True]
         heappush(self._heap, cell)
-        self._live += 1
         return cell
 
     # ---------------------------------------------------------- cancellation
@@ -185,20 +185,24 @@ class EventQueue:
         if cell[4]:
             cell[4] = False
             cell[2] = None
-            self._live -= 1
+            dead = self._dead + 1
+            self._dead = dead
             self.cancellations += 1
-            dead = len(self._heap) - self._live
-            if dead > _COMPACT_MIN_DEAD and dead > self._live:
+            if dead > _COMPACT_MIN_DEAD and dead * 2 > len(self._heap):
                 self._compact()
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify.
 
         Pop order is fully determined by ``(time, seq)``, so rebuilding the
-        heap's internal layout cannot change event order.
+        heap's internal layout cannot change event order. The heap list is
+        mutated in place (slice assignment) rather than rebound so the
+        engine loop may safely keep a direct reference to it.
         """
-        self._heap = [cell for cell in self._heap if cell[2] is not None]
-        heapify(self._heap)
+        heap = self._heap
+        heap[:] = [cell for cell in heap if cell[2] is not None]
+        heapify(heap)
+        self._dead = 0
         self.compactions += 1
 
     # -------------------------------------------------------------- popping
@@ -213,9 +217,9 @@ class EventQueue:
         while heap:
             cell = heappop(heap)
             if cell[2] is None:
+                self._dead -= 1
                 continue
             cell[4] = False
-            self._live -= 1
             handle = cell[3]
             if not isinstance(handle, Event):
                 handle = Event(cell, self)
@@ -234,12 +238,12 @@ class EventQueue:
             cell = heap[0]
             if cell[2] is None:
                 heappop(heap)
+                self._dead -= 1
                 continue
             if cell[0] > limit:
                 return None
             heappop(heap)
             cell[4] = False
-            self._live -= 1
             return cell
         return None
 
@@ -255,4 +259,5 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0][2] is None:
             heappop(heap)
+            self._dead -= 1
         return heap[0][0] if heap else None

@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING
 
-from repro.streams.tuples import StreamTuple
+from repro.streams.tuples import StreamTuple, TupleBlock
 from repro.util.perf import BatchStats
 from repro.util.validation import check_fraction, check_positive
 
@@ -75,7 +75,9 @@ class WorkerPE:
         # One tuple is in service at a time (_busy guards), so the PE can
         # park it on self and schedule one prebound callback instead of a
         # fresh closure per tuple.
-        self._in_service: StreamTuple | list[StreamTuple] | None = None
+        # Per-tuple mode parks one StreamTuple; block mode parks the whole
+        # in-service run as a list of TupleBlocks.
+        self._in_service: StreamTuple | list[TupleBlock] | None = None
         self._complete_cb = self._complete
         #: Tuples fully processed by this PE.
         self.tuples_processed = 0
@@ -96,6 +98,9 @@ class WorkerPE:
         #: Called ``(pe_id, seq)`` after a tuple is accepted by the merger
         #: — the acknowledgement the splitter's retransmit buffer consumes.
         self.on_processed = None
+        #: Block-mode acknowledgement hook: called ``(pe_id, start, count)``
+        #: once per completed block instead of once per tuple.
+        self.on_processed_run = None
         #: Batched fast path: service up to this many queued tuples with a
         #: single completion event (their service times still accrue per
         #: tuple). 1 = the per-tuple path, byte-identical to pre-batching.
@@ -105,10 +110,19 @@ class WorkerPE:
         if self.batch_size > 1:
             # Instance attribute shadows the per-tuple method, so every
             # internal consumer (_on_deliver, restart, resume) takes the
-            # batched path without a per-call branch.
-            self._start_next = self._start_next_batch
-            self._complete_batch_cb = self._complete_batch
-        connection.on_deliver = self._on_deliver
+            # block-native path without a per-call branch. Requires the
+            # connection to be in block mode (the region wires both).
+            self._start_next = self._start_next_run
+            self._complete_run_cb = self._complete_run
+            # The connection never swaps its buffers (fail/reset clear in
+            # place), so the block-mode delivery/completion path reads the
+            # receive occupancy straight off the RunBuffer instead of
+            # paying a method call plus ``__len__`` per check.
+            self._recv_runs = connection._recv_buffer
+            self._take_runs = connection.take_runs
+            connection.on_deliver = self._on_deliver_run
+        else:
+            connection.on_deliver = self._on_deliver
         host.place(self)
 
     @property
@@ -202,9 +216,14 @@ class WorkerPE:
             self._completion_event.cancel()
             self._completion_event = None
         if revoked is not None:
-            self.tuples_dropped += (
-                len(revoked) if isinstance(revoked, list) else 1
-            )
+            if isinstance(revoked, list):
+                # Block mode revokes a run of TupleBlocks; count tuples.
+                if revoked and type(revoked[0]) is TupleBlock:
+                    self.tuples_dropped += sum(b.count for b in revoked)
+                else:
+                    self.tuples_dropped += len(revoked)
+            else:
+                self.tuples_dropped += 1
         return revoked
 
     # ------------------------------------------------------------- internal
@@ -214,6 +233,12 @@ class WorkerPE:
             if self._halted or not self.alive:
                 return
             self._start_next()
+
+    def _on_deliver_run(self) -> None:
+        if not self._busy and self._recv_runs._tuples > 0:
+            if self._halted or not self.alive:
+                return
+            self._start_next_run()
 
     def _start_next(self) -> None:
         self._busy = True
@@ -245,44 +270,79 @@ class WorkerPE:
 
     # ---------------------------------------------------- batched fast path
 
-    def _start_next_batch(self) -> None:
-        """Service a whole queued run with one completion event.
+    def _start_next_run(self) -> None:
+        """Service a whole queued run of blocks with one completion event.
 
-        Service times (and jitter draws) still accrue per tuple, in take
-        order — the run completes when its last tuple would have — but the
-        simulator schedules one event instead of one per tuple.
+        The block-native path: a jitter-free PE charges each block's
+        aggregate cost in one multiply (no per-tuple arithmetic at all);
+        with jitter the per-tuple draws still happen in take order so the
+        noise stream is independent of how tuples were grouped into
+        blocks. Either way the simulator schedules one event per run.
         """
         self._busy = True
-        run = self.connection.take_many(self.batch_size)
+        runs = self._take_runs(self.batch_size)
+        scale = self._load_multiplier / self.host.per_pe_speed()
+        jitter = self.service_jitter
         duration = 0.0
-        for tup in run:
-            duration += self.service_time(tup)
+        n = 0
+        if jitter == 0.0:
+            for block in runs:
+                cost = block.cost
+                if cost is not None:
+                    # Inlined TupleBlock.total_cost(): this runs once per
+                    # service run, where the method call is measurable.
+                    duration += cost * block.count * scale
+                else:
+                    duration += sum(block.costs.tolist()) * scale
+                n += block.count
+        else:
+            rng_random = self._rng.random
+            for block in runs:
+                n += block.count
+                costs = block.costs
+                if costs is None:
+                    base = block.cost * scale
+                    for _ in range(block.count):
+                        duration += base * (
+                            1.0 + jitter * (2.0 * rng_random() - 1.0)
+                        )
+                else:
+                    for cost in costs:
+                        duration += (cost * scale) * (
+                            1.0 + jitter * (2.0 * rng_random() - 1.0)
+                        )
         self.busy_seconds += duration
-        self._in_service = run
-        self.service_stats.record(len(run))
-        self.sim.events_coalesced += len(run) - 1
+        self._in_service = runs
+        stats = self.service_stats
+        stats.batches += 1
+        stats.tuples += n
+        sim = self.sim
+        sim.events_coalesced += n - 1
         if self.fault_tolerant:
-            self._completion_event = self.sim.call_after(
-                duration, self._complete_batch_cb
+            self._completion_event = sim.call_after(
+                duration, self._complete_run_cb
             )
         else:
-            self.sim.schedule_after(duration, self._complete_batch_cb)
+            sim.schedule_after(duration, self._complete_run_cb)
 
-    def _complete_batch(self) -> None:
-        run = self._in_service
+    def _complete_run(self) -> None:
+        runs = self._in_service
         self._in_service = None
         self._completion_event = None
-        self.tuples_processed += len(run)
-        self.merger.accept_run(self.pe_id, run)
-        if self.on_processed is not None:
-            on_processed = self.on_processed
+        processed = 0
+        for block in runs:
+            processed += block.count
+        self.tuples_processed += processed
+        self.merger.accept_runs(self.pe_id, runs)
+        if self.on_processed_run is not None:
+            on_run = self.on_processed_run
             pe_id = self.pe_id
-            for tup in run:
-                on_processed(pe_id, tup.seq)
+            for block in runs:
+                on_run(pe_id, block.start, block.count)
         if self._halted or not self.alive:
             self._busy = False
-        elif self.connection.recv_available() > 0:
-            self._start_next()
+        elif self._recv_runs._tuples > 0:
+            self._start_next_run()
         else:
             self._busy = False
 

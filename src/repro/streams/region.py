@@ -128,6 +128,7 @@ class ParallelRegion:
                 wire_delay=self.params.wire_delay,
                 batch_transfers=self.params.batch_transfers,
                 coalesce_delivery=self.params.batch_size > 1,
+                block_mode=self.params.batch_size > 1,
             )
             for i in range(n_workers)
         ]
@@ -169,8 +170,13 @@ class ParallelRegion:
             batch_size=self.params.batch_size,
         )
         if self.params.fault_tolerant:
-            for worker in self.workers:
-                worker.on_processed = self.splitter.acknowledge
+            if self.params.batch_size > 1:
+                # Block mode acknowledges whole completed blocks.
+                for worker in self.workers:
+                    worker.on_processed_run = self.splitter.acknowledge_run
+            else:
+                for worker in self.workers:
+                    worker.on_processed = self.splitter.acknowledge
 
     @property
     def n_workers(self) -> int:

@@ -24,7 +24,7 @@ from collections import deque
 from collections.abc import Callable
 from typing import TYPE_CHECKING
 
-from repro.streams.tuples import StreamTuple
+from repro.streams.tuples import StreamTuple, TupleBlock, _column
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,9 +36,20 @@ CostModel = Callable[[int], float]
 
 
 def constant_cost(multiplies: float) -> CostModel:
-    """Cost model where every tuple costs the same (the paper's workload)."""
+    """Cost model where every tuple costs the same (the paper's workload).
+
+    The returned model carries a ``uniform_cost`` marker attribute so the
+    block-native dataplane can build scalar-cost
+    :class:`~repro.streams.tuples.TupleBlock` columns without evaluating
+    the model once per tuple.
+    """
     check_positive("multiplies", multiplies)
-    return lambda _seq: multiplies
+
+    def model(_seq: int) -> float:
+        return multiplies
+
+    model.uniform_cost = float(multiplies)
+    return model
 
 
 class TupleSource(ABC):
@@ -47,6 +58,9 @@ class TupleSource(ABC):
     def __init__(self, cost_model: CostModel) -> None:
         self._cost_model = cost_model
         self._next_seq = 0
+        # Constant-cost models carry the marker; cache it so the block
+        # pull does not pay a getattr per dispatch cycle.
+        self._uniform_cost = getattr(cost_model, "uniform_cost", None)
 
     @property
     def produced(self) -> int:
@@ -95,6 +109,37 @@ class TupleSource(ABC):
             batch.append(tup)
         return batch
 
+    def _block_limit(self, max_n: int) -> int:
+        """Tuples available for an immediate block pull (subclass hook)."""
+        return 0 if self.exhausted() else max_n
+
+    def next_block(self, max_n: int) -> "TupleBlock | None":
+        """Up to ``max_n`` next tuples as one contiguous column block.
+
+        The block-native splitter's bulk pull: sequence numbers never
+        materialize (they are the block's implicit range) and a
+        constant-cost model (``uniform_cost`` marker) yields a scalar-cost
+        block with no per-tuple work at all. Returns ``None`` when the
+        source is exhausted or idle — same park/finish handling as
+        :meth:`next_batch` returning empty.
+        """
+        if max_n <= 0:
+            raise ValueError(f"max_n must be positive, got {max_n}")
+        n = self._block_limit(max_n)
+        if n <= 0:
+            return None
+        start = self._next_seq
+        uniform = self._uniform_cost
+        if uniform is not None:
+            block = TupleBlock.uniform(start, n, uniform)
+        else:
+            model = self._cost_model
+            block = TupleBlock.from_costs(
+                start, [model(seq) for seq in range(start, start + n)]
+            )
+        self._next_seq = start + n
+        return block
+
 
 class FiniteSource(TupleSource):
     """Exactly ``total`` tuples; used for execution-time experiments."""
@@ -106,6 +151,9 @@ class FiniteSource(TupleSource):
 
     def exhausted(self) -> bool:
         return self._next_seq >= self.total
+
+    def _block_limit(self, max_n: int) -> int:
+        return min(max_n, self.total - self._next_seq)
 
 
 class InfiniteSource(TupleSource):
@@ -216,6 +264,34 @@ class RatedSource(TupleSource):
         )
         self._next_seq += 1
         return tup
+
+    def next_block(self, max_n: int) -> TupleBlock | None:
+        """Drain up to ``max_n`` backlogged arrivals as one block.
+
+        Arrival timestamps become the block's ``borns`` column, so the
+        merger's latency accounting still starts at queue entry.
+        """
+        if max_n <= 0:
+            raise ValueError(f"max_n must be positive, got {max_n}")
+        queue = self._queue
+        n = min(max_n, len(queue))
+        if n <= 0:
+            return None
+        start = self._next_seq
+        popleft = queue.popleft
+        borns = [popleft() for _ in range(n)]
+        uniform = self._uniform_cost
+        if uniform is not None:
+            block = TupleBlock.uniform(start, n, uniform)
+            block.borns = _column(borns)
+        else:
+            block = TupleBlock.from_costs(
+                start,
+                [model(seq) for seq in range(start, start + n)],
+                borns=borns,
+            )
+        self._next_seq = start + n
+        return block
 
     def _arrive(self) -> None:
         sim = self._sim

@@ -52,7 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.connection import SimulatedConnection
     from repro.sim.engine import Simulator
     from repro.streams.sources import TupleSource
-    from repro.streams.tuples import StreamTuple
+    from repro.streams.tuples import StreamTuple, TupleBlock
 
 
 class RegionStalledError(RuntimeError):
@@ -140,11 +140,13 @@ class Splitter:
         self._flow_gate = None
         self._parked_flow = False
         self._flow_park_start: float | None = None
-        #: Replay queue, consumed before the source.
-        self._replay: "deque[StreamTuple]" = deque()
+        #: Replay queue, consumed before the source. Holds StreamTuples in
+        #: per-tuple mode and TupleBlocks in block mode (batch_size > 1).
+        self._replay: "deque" = deque()
         #: Per-connection sent-but-unacknowledged tuples (FIFO in send
-        #: order, which is also each worker's processing order).
-        self._inflight: "list[deque[StreamTuple]] | None" = (
+        #: order, which is also each worker's processing order). Same
+        #: per-tuple/TupleBlock duality as the replay queue.
+        self._inflight: "list[deque] | None" = (
             [deque() for _ in connections] if fault_tolerant else None
         )
         #: Seqs evicted from the retransmit buffer and not yet acked.
@@ -154,11 +156,18 @@ class Splitter:
         #: connection's share with one bulk send. 1 = the per-tuple path,
         #: byte-identical to the pre-batching splitter.
         self.batch_size = int(batch_size)
+        #: Tuples (not blocks) in each connection's retransmit buffer —
+        #: block mode only, where ``len(deque)`` counts blocks.
+        self._inflight_tuples: "list[int] | None" = (
+            [0] * len(connections)
+            if fault_tolerant and self.batch_size > 1
+            else None
+        )
         #: Realized dispatch-batch occupancy (batched mode only).
         self.dispatch_stats = BatchStats()
-        #: Apportioned sub-runs not yet dispatched: (connection, tuples).
-        self._chunks: "deque[tuple[int, list[StreamTuple]]]" = deque()
-        self._chunk_items: "list[StreamTuple] | None" = None
+        #: Apportioned sub-runs not yet dispatched: (connection, blocks).
+        self._chunks: "deque[tuple[int, list[TupleBlock]]]" = deque()
+        self._chunk_items: "list[TupleBlock] | None" = None
         self._chunk_pos = 0
         self._batch_tuple_count = 0
         #: Connection the current batch's head run goes to, advanced per
@@ -297,6 +306,8 @@ class Splitter:
         """Unacknowledged tuples currently charged to ``connection``."""
         if self._inflight is None:
             return 0
+        if self._inflight_tuples is not None:
+            return self._inflight_tuples[connection]
         return len(self._inflight[connection])
 
     def acknowledge(self, connection: int, seq: int) -> None:
@@ -322,6 +333,46 @@ class Splitter:
             f"retransmit buffer (front: "
             f"{buffer[0].seq if buffer else 'empty'})"
         )
+
+    def acknowledge_run(self, connection: int, start: int, count: int) -> None:
+        """Retire the acked range ``[start, start+count)`` (block mode).
+
+        The worker acknowledges whole completed blocks; the retransmit
+        buffer holds blocks split at send-accept boundaries, so one ack
+        may retire several front blocks, or only part of one (which is
+        split, its unacked tail retained). Evicted seqs inside the range
+        are retired from the unreplayable set, exactly like
+        :meth:`acknowledge`.
+        """
+        if self._inflight is None:
+            return
+        buffer = self._inflight[connection]
+        evicted = self._unreplayable[connection]
+        seq = start
+        end = start + count
+        retired = 0
+        while seq < end:
+            if buffer and buffer[0].start == seq:
+                front = buffer[0]
+                if front.end <= end:
+                    buffer.popleft()
+                    retired += front.count
+                    seq = front.end
+                else:
+                    done, rest = front.split(end - seq)
+                    buffer[0] = rest
+                    retired += done.count
+                    seq = end
+            elif seq in evicted:
+                evicted.discard(seq)
+                seq += 1
+            else:
+                raise RuntimeError(
+                    f"ack for seq {seq} does not match connection "
+                    f"{connection}'s retransmit buffer (front: "
+                    f"{buffer[0].start if buffer else 'empty'})"
+                )
+        self._inflight_tuples[connection] -= retired
 
     def fail_channel(
         self, channel: int, *, replay: bool = True, allow_stall: bool = False
@@ -386,13 +437,25 @@ class Splitter:
         lost = sorted(self._unreplayable[channel])
         self._unreplayable[channel] = set()
         replayed = 0
-        if replay:
+        if self.batch_size > 1:
+            # Block mode: the retransmit buffer holds TupleBlocks.
+            if replay:
+                replayed = sum(block.count for block in unacked)
+                self.tuples_replayed += replayed
+                self._replay.extend(unacked)
+            else:
+                for block in unacked:
+                    lost.extend(range(block.start, block.end))
+            unacked.clear()
+            self._inflight_tuples[channel] = 0
+        elif replay:
             replayed = len(unacked)
             self.tuples_replayed += replayed
             self._replay.extend(unacked)
+            unacked.clear()
         else:
             lost.extend(tup.seq for tup in unacked)
-        unacked.clear()
+            unacked.clear()
         if replayed and self.finished:
             # The source had drained but replay revives the send loop.
             self.finished = False
@@ -546,58 +609,81 @@ class Splitter:
     # ---------------------------------------------------- batched fast path
 
     def _try_send_batch(self) -> None:
-        """Batched dispatch cycle: pull, apportion, and push sub-runs.
+        """Block-native dispatch cycle: pull, apportion, and push runs.
 
-        One cycle pulls up to ``batch_size`` tuples (replay queue first),
-        apportions them across connections with a single policy call, and
-        pushes each connection's contiguous share with one bulk send. The
+        One cycle pulls up to ``batch_size`` tuples as contiguous
+        :class:`~repro.streams.tuples.TupleBlock` columns (replay queue
+        first), apportions them across connections with a single policy
+        call, and pushes each connection's share block by block. The
         per-tuple send cost still accrues — the cycle ends by sleeping
         ``send_overhead * batch`` in one event — and blocking is charged
         per episode to the connection that filled up, so the blocking-rate
         samples the balancer reads keep their meaning (at batch, rather
         than tuple, granularity).
         """
+        # Chunk progress lives in locals and is persisted to the
+        # ``_chunk_*`` attributes only when the dispatcher elects to block
+        # — the simulator is single-threaded, so nothing can observe the
+        # in-flight state between those points.
+        chunks = self._chunks
+        connections = self.connections
+        sent_per = self.sent_per_connection
+        inflight = self._inflight
         while True:
             if self._chunk_items is None:
-                if not self._chunks:
+                if not chunks:
                     if not self._pull_batch():
                         return  # parked (flow/idle/no-live) or finished
-                target, items = self._chunks.popleft()
-                self._chunk_items = items
-                self._chunk_pos = 0
-                self._target = target
-            target = self._target
-            items = self._chunk_items
-            pos = self._chunk_pos
-            connection = self.connections[target]
-            accepted = connection.send_many(items, pos)
-            if accepted:
-                self.sent_per_connection[target] += accepted
-                if self._inflight is not None:
-                    for i in range(pos, pos + accepted):
-                        self._record_inflight(target, items[i])
-                pos += accepted
-                self._chunk_pos = pos
-            if pos < len(items):
-                if accepted:
-                    # The bulk send's own flow-control pump may have
-                    # drained tuples onward and freed send space; retry
-                    # the remainder before electing to block.
-                    continue
+                target, blocks = chunks.popleft()
+                pos = 0
+            else:
+                # Resuming after a blocking episode: reload and clear the
+                # persisted progress.
+                target = self._target
+                blocks = self._chunk_items
+                pos = self._chunk_pos
+                self._chunk_items = None
+                self._target = None
+            connection = connections[target]
+            n_blocks = len(blocks)
+            while pos < n_blocks:
+                block = blocks[pos]
+                accepted = connection.send_run(block)
+                if accepted == block.count:
+                    sent_per[target] += accepted
+                    if inflight is not None:
+                        self._record_inflight_run(target, block)
+                    pos += 1
+                elif accepted:
+                    # Partial accept: the bulk send's own flow-control
+                    # pump may have drained tuples onward and freed send
+                    # space; split at the accepted boundary and retry the
+                    # tail before electing to block.
+                    head, tail = block.split(accepted)
+                    sent_per[target] += accepted
+                    if inflight is not None:
+                        self._record_inflight_run(target, head)
+                    blocks[pos] = tail
+                else:
+                    break
+            if pos < n_blocks:
                 # Elect to block on this connection for the remainder of
                 # the chunk (the MSG_DONTWAIT + select dance of Section 3,
-                # once per partial bulk send instead of once per tuple).
+                # once per full buffer instead of once per tuple).
+                self._chunk_items = blocks
+                self._chunk_pos = pos
+                self._target = target
                 self._begin_block(target)
                 connection.wait_for_send_space(self._on_send_space_batch)
                 return
-            self._chunk_items = None
-            self._target = None
-            if not self._chunks:
+            if not chunks:
                 # Batch fully dispatched: charge the per-tuple send cost
                 # in one event and record the realized occupancy.
                 n = self._batch_tuple_count
                 self._batch_tuple_count = 0
-                self.dispatch_stats.record(n)
+                stats = self.dispatch_stats
+                stats.batches += 1
+                stats.tuples += n
                 self.sim.events_coalesced += n - 1
                 obs = self._obs
                 if obs is not None and self._batch_span >= 0:
@@ -624,12 +710,36 @@ class Splitter:
             return False
         limit = self.batch_size
         replay = self._replay
-        batch: "list[StreamTuple]" = []
-        while replay and len(batch) < limit:
-            batch.append(replay.popleft())
-        if len(batch) < limit:
-            batch.extend(self.source.next_batch(limit - len(batch)))
-        if not batch:
+        if not replay:
+            # Steady state: no replayed blocks queued, so the batch is one
+            # contiguous pull from the source.
+            block = self.source.next_block(limit)
+            if block is None:
+                if self.source.idle():
+                    self._parked_idle = True
+                else:
+                    self.finished = True
+                return False
+            if block.born is None and block.borns is None:
+                block.born = self.sim.now
+            return self._apportion([block], block.count)
+        blocks: "list[TupleBlock]" = []
+        total = 0
+        while replay and total < limit:
+            block = replay[0]
+            if total + block.count <= limit:
+                replay.popleft()
+            else:
+                block, tail = block.split(limit - total)
+                replay[0] = tail
+            blocks.append(block)
+            total += block.count
+        if total < limit:
+            block = self.source.next_block(limit - total)
+            if block is not None:
+                blocks.append(block)
+                total += block.count
+        if not blocks:
             if self.source.idle():
                 # Open-loop source between arrivals: park until
                 # notify_available() wakes us.
@@ -638,32 +748,32 @@ class Splitter:
                 self.finished = True
             return False
         now = self.sim.now
-        for tup in batch:
-            if tup.born_at is None:
-                tup.born_at = now
-        return self._apportion(batch)
+        for block in blocks:
+            if block.born is None and block.borns is None:
+                block.born = now
+        return self._apportion(blocks, total)
 
-    def _apportion(self, batch: "list[StreamTuple]") -> bool:
-        """Slice ``batch`` into per-connection chunks by policy weight."""
+    def _apportion(self, blocks: "list[TupleBlock]", total: int) -> bool:
+        """Carve the pulled blocks into per-connection runs by weight."""
         n = len(self.connections)
         policy = self.policy
         allocate = getattr(policy, "allocate_batch", None)
         if allocate is not None:
-            alloc = allocate(len(batch))
+            alloc = allocate(total)
             if (
                 len(alloc) != n
-                or sum(alloc) != len(batch)
-                or any(share < 0 for share in alloc)
+                or sum(alloc) != total
+                or min(alloc) < 0
             ):
                 raise ValueError(
                     f"policy allocated {alloc} for a batch of "
-                    f"{len(batch)} tuples over {n} connections"
+                    f"{total} tuples over {n} connections"
                 )
         else:
             # Custom policy without a batch method: realize the same
             # distribution from per-tuple picks.
             alloc = [0] * n
-            for _ in batch:
+            for _ in range(total):
                 target = policy.next_connection()
                 if not 0 <= target < n:
                     raise ValueError(
@@ -677,29 +787,71 @@ class Splitter:
                     if alt is None:
                         # Every channel is dead: stash the batch back and
                         # park until one is restored.
-                        self._replay.extendleft(reversed(batch))
+                        self._replay.extendleft(reversed(blocks))
                         self._parked_no_live = True
                         return False
                     self.fault_reroutes += alloc[j]
                     alloc[alt] += alloc[j]
                     alloc[j] = 0
-        self._batch_tuple_count = len(batch)
+        self._batch_tuple_count = total
         obs = self._obs
         if obs is not None:
             self._batch_span = obs.tracer.start(
-                "batch_dispatch", self.sim.now, tuples=len(batch)
+                "batch_dispatch", self.sim.now, tuples=total
             )
         start = self._batch_rotation
         self._batch_rotation = (start + 1) % n
         chunks = self._chunks
-        offset = 0
+        # Walk the pulled blocks once, splitting only at chunk boundaries:
+        # each connection's share stays a handful of column blocks however
+        # large the batch.
+        block_i = 0
+        n_blocks = len(blocks)
+        current = blocks[0]
         for k in range(n):
             j = (start + k) % n
             count = alloc[j]
-            if count:
-                chunks.append((j, batch[offset : offset + count]))
-                offset += count
+            if not count:
+                continue
+            share: "list[TupleBlock]" = []
+            while count:
+                if current.count <= count:
+                    share.append(current)
+                    count -= current.count
+                    block_i += 1
+                    current = (
+                        blocks[block_i] if block_i < n_blocks else None
+                    )
+                else:
+                    head, current = current.split(count)
+                    share.append(head)
+                    count = 0
+            chunks.append((j, share))
         return True
+
+    def _record_inflight_run(self, connection: int, block: "TupleBlock") -> None:
+        """Charge a sent block to ``connection``'s retransmit buffer."""
+        buffer = self._inflight[connection]
+        buffer.append(block)
+        tuples = self._inflight_tuples[connection] + block.count
+        capacity = self.retransmit_capacity
+        if capacity is not None:
+            evicted_seqs = self._unreplayable[connection]
+            while tuples > capacity:
+                front = buffer[0]
+                over = tuples - capacity
+                if front.count <= over:
+                    buffer.popleft()
+                    evicted_seqs.update(range(front.start, front.end))
+                    self.retransmit_dropped += front.count
+                    tuples -= front.count
+                else:
+                    evicted, kept = front.split(over)
+                    buffer[0] = kept
+                    evicted_seqs.update(range(evicted.start, evicted.end))
+                    self.retransmit_dropped += over
+                    tuples -= over
+        self._inflight_tuples[connection] = tuples
 
     def _on_send_space_batch(self) -> None:
         target = self._target
@@ -710,11 +862,11 @@ class Splitter:
     def _reset_batch_dispatch(self) -> None:
         """Abandon in-progress batch dispatch after a channel failure.
 
-        Undelivered chunk tuples — whatever their target — go back to the
-        head of the replay queue in sequence order, to be re-apportioned
-        over the live channels on the next cycle. A splitter parked on a
-        full send buffer is un-parked with its elapsed blocking charged
-        (the wait really happened, whoever the target was).
+        Undelivered chunk blocks — whatever their target — go back to the
+        head of the replay queue, to be re-apportioned over the live
+        channels on the next cycle. A splitter parked on a full send
+        buffer is un-parked with its elapsed blocking charged (the wait
+        really happened, whoever the target was).
         """
         if self._chunk_items is None and not self._chunks:
             return
@@ -722,7 +874,7 @@ class Splitter:
         if self._block_start is not None and target is not None:
             self.connections[target].cancel_wait()
             self._end_block(target)
-        leftovers: "list[StreamTuple]" = []
+        leftovers: "list[TupleBlock]" = []
         if self._chunk_items is not None:
             leftovers.extend(self._chunk_items[self._chunk_pos :])
         for _, items in self._chunks:

@@ -1,0 +1,164 @@
+"""Pin the numpy and pure-python backends to bit-identical results.
+
+The vectorized code paths (batch apportionment, PAVA's monotone check,
+the rate-function table build, block column accounting) all promise
+**bit-identical** output to their stdlib fallbacks — that is what lets
+the golden traces and recorded experiment numbers stay valid whether or
+not the optional ``[perf]`` extra is installed. These tests drive both
+implementations in one process and compare exact floats, so a drift in
+either backend fails immediately (the CI numpy-absent leg then covers
+the import-time selection itself).
+"""
+
+import random
+from array import array
+
+import pytest
+
+from repro.core import monotone, rate_function
+from repro.core.monotone import monotone_regression
+from repro.core.policies import VECTOR_MIN_CONNECTIONS, WeightedPolicy
+from repro.core.rate_function import BlockingRateFunction
+from repro.sim.engine import Simulator
+from repro.streams.merger import OrderedMerger
+from repro.streams.tuples import TupleBlock
+from repro.util.arrays import HAVE_NUMPY, numpy
+
+
+# ------------------------------------------------------------ apportionment
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy for the vector path")
+def test_vector_apportionment_matches_scalar_exactly():
+    # Wide enough that allocate_batch dispatches to the vector path; the
+    # twin is forced down the scalar reference loop directly. Realized
+    # allocations AND carried credits must match to the last bit across
+    # a long random count sequence with weight changes mixed in.
+    rng = random.Random(20160401)
+    n = VECTOR_MIN_CONNECTIONS + 5
+    weights = [rng.randint(1, 9) for _ in range(n)]
+    vector_policy = WeightedPolicy(weights)
+    scalar_policy = WeightedPolicy(weights)
+    assert vector_policy._active_weights is not None
+    for round_no in range(200):
+        count = rng.randint(0, 500)
+        via_vector = vector_policy.allocate_batch(count)
+        via_scalar = scalar_policy._allocate_batch_scalar(count, [0] * n)
+        assert via_vector == via_scalar, f"round {round_no}, count {count}"
+        assert (
+            vector_policy._batch_credits == scalar_policy._batch_credits
+        ), f"credits diverged at round {round_no}"
+        if round_no % 37 == 36:
+            weights = [rng.randint(1, 9) for _ in range(n)]
+            vector_policy.set_weights(weights)
+            scalar_policy.set_weights(weights)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy for the vector path")
+def test_vector_apportionment_with_zero_weights_agrees():
+    # Zero-weight connections (skipped by both loops) plus counts around
+    # the active width exercise the floor clamp and the leftover hand-out;
+    # enough nonzero weights remain to keep the vector path selected.
+    rng = random.Random(7)
+    for trial in range(30):
+        weights = [rng.choice([1, 3, 9]) for _ in range(VECTOR_MIN_CONNECTIONS)]
+        weights += [0] * 8
+        rng.shuffle(weights)
+        n = len(weights)
+        vector_policy = WeightedPolicy(weights)
+        scalar_policy = WeightedPolicy(weights)
+        for count in [0, 1, 2, 3, n - 1, n, n + 1, 10 * n]:
+            via_vector = vector_policy.allocate_batch(count)
+            via_scalar = scalar_policy._allocate_batch_scalar(count, [0] * n)
+            assert via_vector == via_scalar, f"trial {trial}, count {count}"
+            assert (
+                vector_policy._batch_credits == scalar_policy._batch_credits
+            ), f"trial {trial}, count {count}"
+
+
+# -------------------------------------------------------------------- PAVA
+
+
+def test_pava_monotone_precheck_is_identity():
+    # Already-sorted input is its own isotonic regression, so the
+    # vectorized precheck must hand back exactly the input values — the
+    # same thing the block-merge loop would produce.
+    rng = random.Random(99)
+    for _ in range(50):
+        # Straddle VECTOR_MIN_POINTS so both the vectorized and the
+        # scalar precheck take the fast path here.
+        n = rng.randint(1, 150)
+        values = sorted(rng.random() * 10 for _ in range(n))
+        weights = [float(rng.randint(1, 5)) for _ in range(n)]
+        assert monotone_regression(values, weights) == values
+
+
+def test_pava_backends_agree(monkeypatch):
+    rng = random.Random(123)
+    cases = []
+    for _ in range(60):
+        n = rng.randint(1, 150)
+        values = [rng.random() * 10 for _ in range(n)]
+        weights = [float(rng.randint(1, 6)) for _ in range(n)]
+        cases.append((values, weights))
+    with_backend = [monotone_regression(v, w) for v, w in cases]
+    monkeypatch.setattr(monotone, "HAVE_NUMPY", False)
+    without_backend = [monotone_regression(v, w) for v, w in cases]
+    assert with_backend == without_backend
+
+
+# ------------------------------------------------------------- rate tables
+
+
+def test_rate_function_tables_agree_across_backends(monkeypatch):
+    def build(seed):
+        rng = random.Random(seed)
+        fn = BlockingRateFunction(resolution=400)
+        for _ in range(150):
+            fn.observe(rng.randint(1, 400), rng.random() * 20)
+            if rng.random() < 0.25:
+                fn.decay_above(rng.randint(0, 400), 0.1)
+        return fn.table()
+
+    vector_tables = [build(seed) for seed in range(5)]
+    monkeypatch.setattr(rate_function, "HAVE_NUMPY", False)
+    monkeypatch.setattr(monotone, "HAVE_NUMPY", False)
+    scalar_tables = [build(seed) for seed in range(5)]
+    assert vector_tables == scalar_tables
+
+
+# ---------------------------------------------------------- merge ordering
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="compares numpy vs stdlib columns")
+def test_merge_latency_accounting_identical_for_both_column_backends():
+    # A block's borns column may be a numpy array or a stdlib array('d');
+    # the merger converts via .tolist() before accumulating, so the
+    # latency sums are bit-identical either way. Runs arrive out of
+    # order so both the in-order fast path and the parked-run drain see
+    # each column type.
+    rng = random.Random(5)
+    borns = [rng.random() for _ in range(64)]
+
+    def run(column_factory):
+        sim = Simulator()
+        merger = OrderedMerger(sim)
+        blocks = []
+        start = 0
+        for size in (16, 16, 16, 16):
+            block = TupleBlock.uniform(start, size, 100.0)
+            block.borns = column_factory(borns[start : start + size])
+            blocks.append(block)
+            start += size
+        sim.call_at(1.0, lambda: merger.accept_runs(1, [blocks[1]]))
+        sim.call_at(1.0, lambda: merger.accept_runs(0, [blocks[0]]))
+        sim.call_at(2.0, lambda: merger.accept_runs(1, [blocks[3]]))
+        sim.call_at(2.0, lambda: merger.accept_runs(0, [blocks[2]]))
+        sim.run_until(3.0)
+        assert merger.emitted == 64
+        assert merger.next_seq == 64
+        return merger.latency_seconds, merger.latency_count
+
+    via_numpy = run(lambda xs: numpy.asarray(xs, dtype=numpy.float64))
+    via_stdlib = run(lambda xs: array("d", xs))
+    assert via_numpy == via_stdlib
