@@ -103,6 +103,8 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
         "events_coalesced": result.events_coalesced,
         "events_processed": result.events_processed,
         "wall_seconds": result.wall_seconds,
+        # Process-backend supervision (PR 7).
+        "worker_restarts": result.worker_restarts,
         # Observability report (PR 5).
         "obs": None if result.obs is None else result.obs.as_dict(),
     }
@@ -163,6 +165,7 @@ def result_from_dict(data: dict[str, Any]) -> RunResult:
         batches_dispatched=data.get("batches_dispatched", 0),
         batch_occupancy=data.get("batch_occupancy", 0.0),
         events_coalesced=data.get("events_coalesced", 0),
+        worker_restarts=data.get("worker_restarts", 0),
         obs=(
             None if data.get("obs") is None
             else ObsReport.from_dict(data["obs"])

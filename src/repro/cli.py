@@ -205,11 +205,50 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_demo(args) -> int:
+    if args.backend == "process":
+        return _run_process_demo(args)
     return _run_indepth(
         figures.fig08_top_config(duration=200.0),
         times=[5, 15, 25, 50, 100, 150, 199],
         args=args,
     )
+
+
+def _run_process_demo(args) -> int:
+    """``demo --backend=process``: real workers, a real kill, recovery."""
+    from repro.experiments.process_backend import process_scenario
+
+    kill = None if args.kill < 0 else args.kill
+    if kill is not None and kill >= args.workers:
+        print(f"--kill {kill} needs a worker index below --workers "
+              f"{args.workers}", file=sys.stderr)
+        return 2
+    config = process_scenario(
+        n_workers=args.workers,
+        total_tuples=args.tuples,
+        crash_worker=kill,
+        crash_at_emitted=(
+            max(1, args.tuples // 8) if kill is not None else None
+        ),
+    )
+    config = _apply_obs(config, args)
+    if kill is None:
+        print(f"process backend: {args.workers} worker processes, "
+              f"{args.tuples} tuples")
+    else:
+        print(f"process backend: {args.workers} worker processes, "
+              f"{args.tuples} tuples; SIGKILL worker {kill} an eighth "
+              f"of the way through")
+    result = run_experiment(config, "rr")
+    print(result.summary())
+    if result.obs is not None:
+        print()
+        print(_obs_summary(result))
+        if args.obs_jsonl:
+            print(f"  wrote events -> {args.obs_jsonl}")
+        if args.obs_prom:
+            print(f"  wrote metrics -> {args.obs_prom}")
+    return 0
 
 
 def _cmd_sweep(args) -> int:
@@ -238,6 +277,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(figure)
     figure.set_defaults(func=_cmd_figure)
     demo = sub.add_parser("demo", help="a two-minute demonstration")
+    demo.add_argument(
+        "--backend", choices=("sim", "process"), default="sim",
+        help="'sim' runs the simulator demo; 'process' runs real worker "
+        "processes over sockets with a real mid-run SIGKILL",
+    )
+    demo.add_argument(
+        "--workers", type=int, default=4,
+        help="worker process count (process backend; default 4)",
+    )
+    demo.add_argument(
+        "--tuples", type=int, default=400,
+        help="tuple budget (process backend; default 400)",
+    )
+    demo.add_argument(
+        "--kill", type=int, default=1, metavar="J",
+        help="SIGKILL worker J an eighth of the way through "
+        "(process backend; -1 disables; default 1)",
+    )
     _add_obs_flags(demo)
     demo.set_defaults(func=_cmd_demo)
     sweep = sub.add_parser("sweep", help="custom half-10x-loaded sweep")

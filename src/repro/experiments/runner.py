@@ -137,6 +137,10 @@ class RunResult:
     batch_occupancy: float = 0.0
     #: Per-tuple events the batched dataplane avoided scheduling.
     events_coalesced: int = 0
+    #: Supervised worker-process restarts (0 on the simulator backend,
+    #: where crashed channels are revived by the recovery coordinator
+    #: rather than respawned by a supervisor).
+    worker_restarts: int = 0
     #: Frozen observability report (None unless the run was observed
     #: via ``RegionParams(observability=True)``).
     obs: ObsReport | None = None
@@ -210,6 +214,10 @@ class RunResult:
                 f"(detect={ttq}, reconverge={ttr}), "
                 f"replayed={self.tuples_replayed}, lost={self.tuples_lost}"
             )
+        if self.worker_restarts:
+            lines.append(
+                f"  worker_restarts={self.worker_restarts}"
+            )
         if self.tuples_offered:
             lines.append(
                 f"  offered={self.tuples_offered}, "
@@ -252,6 +260,18 @@ def run_experiment(
         raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
     if (policy == "fixed") != (fixed_weights is not None):
         raise ValueError("fixed_weights is required iff policy='fixed'")
+
+    if config.region.backend == "process":
+        # Real worker processes over real sockets (repro.proc). Imported
+        # lazily so simulator runs never touch the process machinery.
+        from repro.experiments.process_backend import run_process_experiment
+
+        return run_process_experiment(
+            config,
+            policy,
+            record_series=record_series,
+            fixed_weights=fixed_weights,
+        )
 
     sim = Simulator()
     placement = config.build_placement()

@@ -197,6 +197,20 @@ class FaultSchedule:
                 f"{n_workers} workers"
             )
 
+    def arm_real(self, driver) -> "FaultSchedule":
+        """Arm this schedule against *live worker processes*.
+
+        ``driver`` is a :class:`repro.proc.faults.RealFaultDriver`: the
+        same declarative events that :meth:`arm` schedules as simulator
+        callbacks become real ``SIGKILL``/``SIGSTOP``/``SIGCONT`` and
+        CONTROL frames against the process backend. Validation and the
+        event-to-action mapping live on the driver; this method exists
+        so experiment code reads symmetrically (``schedule.arm(sim,
+        injector)`` vs ``schedule.arm_real(driver)``).
+        """
+        driver.arm(self)
+        return self
+
     def arm(self, sim: "Simulator", injector: "FaultInjector") -> None:
         """Schedule every *timed* event on ``sim`` against ``injector``.
 

@@ -1,0 +1,246 @@
+"""Typed message framing for the multi-process dataplane.
+
+The process backend (:mod:`repro.proc`) speaks one duplex TCP stream per
+worker, multiplexing data tuples, acknowledgements-by-result, and the
+liveness heartbeat on the same channel — heartbeats piggyback on the data
+connection instead of requiring a side channel, so a wedged data socket
+*is* a missed heartbeat (the failure modes cannot diverge).
+
+Every message is a fixed 5-byte header (``type: u8``, ``length: u32``,
+network byte order) followed by ``length`` payload bytes. The payload
+layouts are tiny ``struct`` packs; bodies beyond the fixed fields (the
+tuple payload proper) ride as raw trailing bytes.
+
+:class:`MessageAssembler` reassembles messages from arbitrary chunk
+boundaries — a 1-byte-at-a-time feed yields exactly the same messages as
+a single feed of the concatenation — and :meth:`MessageAssembler.eof`
+turns a connection that died mid-message into a clean
+:class:`TruncatedStreamError` instead of a silently dropped tail.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator
+
+__all__ = [
+    "MSG_HELLO",
+    "MSG_DATA",
+    "MSG_RESULT",
+    "MSG_HEARTBEAT",
+    "MSG_CONTROL",
+    "MSG_EOS",
+    "MSG_BYE",
+    "Message",
+    "MessageAssembler",
+    "TruncatedStreamError",
+    "encode",
+    "encode_hello",
+    "encode_data",
+    "encode_result",
+    "encode_heartbeat",
+    "encode_control",
+    "encode_eos",
+    "encode_bye",
+]
+
+#: Worker -> parent, first message on every (re)connect: who am I.
+MSG_HELLO = 1
+#: Parent -> worker: one sequenced tuple to process.
+MSG_DATA = 2
+#: Worker -> parent: one processed tuple (doubles as the ack).
+MSG_RESULT = 3
+#: Worker -> parent: periodic liveness beacon on the data channel.
+MSG_HEARTBEAT = 4
+#: Parent -> worker: runtime control (service-time multiplier).
+MSG_CONTROL = 5
+#: Parent -> worker: no more data; drain and exit cleanly.
+MSG_EOS = 6
+#: Worker -> parent: drained and exiting (response to EOS / SIGTERM).
+MSG_BYE = 7
+
+_KNOWN_TYPES = frozenset(
+    (MSG_HELLO, MSG_DATA, MSG_RESULT, MSG_HEARTBEAT, MSG_CONTROL,
+     MSG_EOS, MSG_BYE)
+)
+
+_HEADER = struct.Struct("!BI")
+HEADER_SIZE = _HEADER.size
+
+_HELLO = struct.Struct("!II")        # worker_id, incarnation
+_DATA = struct.Struct("!Qd")         # seq, cost_seconds
+_RESULT = struct.Struct("!Qd")       # seq, measured_service_seconds
+_HEARTBEAT = struct.Struct("!QI")    # processed_total, incarnation
+_CONTROL = struct.Struct("!d")       # service-time multiplier
+_BYE = struct.Struct("!Q")           # processed_total
+
+#: Hard cap on a single message payload: anything larger is a corrupt
+#: header (a desynchronized stream read as a length), not a real frame.
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+
+class TruncatedStreamError(ConnectionError):
+    """The stream ended (or desynchronized) mid-message."""
+
+
+class Message:
+    """One decoded wire message: a type tag and its raw payload."""
+
+    __slots__ = ("type", "payload")
+
+    def __init__(self, type: int, payload: bytes) -> None:
+        self.type = type
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message(type={self.type}, payload={self.payload!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Message)
+            and self.type == other.type
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.payload))
+
+    # ------------------------------------------------------------- decoding
+
+    def hello(self) -> tuple[int, int]:
+        """``(worker_id, incarnation)`` of a HELLO."""
+        return _HELLO.unpack(self.payload)
+
+    def data(self) -> tuple[int, float, bytes]:
+        """``(seq, cost_seconds, body)`` of a DATA."""
+        seq, cost = _DATA.unpack_from(self.payload)
+        return seq, cost, self.payload[_DATA.size:]
+
+    def result(self) -> tuple[int, float, bytes]:
+        """``(seq, service_seconds, body)`` of a RESULT."""
+        seq, service = _RESULT.unpack_from(self.payload)
+        return seq, service, self.payload[_RESULT.size:]
+
+    def heartbeat(self) -> tuple[int, int]:
+        """``(processed_total, incarnation)`` of a HEARTBEAT."""
+        return _HEARTBEAT.unpack(self.payload)
+
+    def control(self) -> float:
+        """The service-time multiplier of a CONTROL."""
+        return _CONTROL.unpack(self.payload)[0]
+
+    def bye(self) -> int:
+        """The final processed count of a BYE."""
+        return _BYE.unpack(self.payload)[0]
+
+
+def encode(type: int, payload: bytes = b"") -> bytes:
+    """Frame one message: header + payload."""
+    if len(payload) > MAX_PAYLOAD:
+        raise ValueError(
+            f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD"
+        )
+    return _HEADER.pack(type, len(payload)) + payload
+
+
+def encode_hello(worker_id: int, incarnation: int) -> bytes:
+    return encode(MSG_HELLO, _HELLO.pack(worker_id, incarnation))
+
+
+def encode_data(seq: int, cost_seconds: float, body: bytes = b"") -> bytes:
+    return encode(MSG_DATA, _DATA.pack(seq, cost_seconds) + body)
+
+
+def encode_result(
+    seq: int, service_seconds: float, body: bytes = b""
+) -> bytes:
+    return encode(MSG_RESULT, _RESULT.pack(seq, service_seconds) + body)
+
+
+def encode_heartbeat(processed_total: int, incarnation: int) -> bytes:
+    return encode(MSG_HEARTBEAT, _HEARTBEAT.pack(processed_total, incarnation))
+
+
+def encode_control(multiplier: float) -> bytes:
+    return encode(MSG_CONTROL, _CONTROL.pack(multiplier))
+
+
+def encode_eos() -> bytes:
+    return encode(MSG_EOS)
+
+
+def encode_bye(processed_total: int) -> bytes:
+    return encode(MSG_BYE, _BYE.pack(processed_total))
+
+
+class MessageAssembler:
+    """Reassembles typed messages from arbitrary received chunks.
+
+    Like the fixed-size :class:`~repro.net.socket_transport._FrameAssembler`
+    this consumes every complete message per feed and keeps only the
+    sub-message leftover buffered, so bytes copied stay linear in bytes
+    received. Unlike it, frames here are variable-length (header-prefixed),
+    and the assembler validates headers as it goes: an unknown type byte or
+    an absurd length means the stream desynchronized, which raises
+    :class:`TruncatedStreamError` immediately rather than waiting forever
+    for a frame that will never complete.
+    """
+
+    __slots__ = ("messages", "_buffer", "_closed")
+
+    def __init__(self) -> None:
+        #: Whole messages consumed so far.
+        self.messages = 0
+        self._buffer = bytearray()
+        self._closed = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete message."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[Message]:
+        """Absorb ``chunk``; return every message it completed, in order."""
+        if self._closed:
+            raise TruncatedStreamError("feed after eof()")
+        buffer = self._buffer
+        buffer += chunk
+        out: list[Message] = []
+        offset = 0
+        available = len(buffer)
+        while available - offset >= HEADER_SIZE:
+            mtype, length = _HEADER.unpack_from(buffer, offset)
+            if mtype not in _KNOWN_TYPES or length > MAX_PAYLOAD:
+                raise TruncatedStreamError(
+                    f"desynchronized stream: type={mtype} length={length}"
+                )
+            end = offset + HEADER_SIZE + length
+            if end > available:
+                break
+            out.append(
+                Message(mtype, bytes(buffer[offset + HEADER_SIZE:end]))
+            )
+            offset = end
+        if offset:
+            del buffer[:offset]
+            self.messages += len(out)
+        return out
+
+    def eof(self) -> None:
+        """Declare the stream ended; raises if a partial message remains.
+
+        A clean close lands exactly on a message boundary. EOF mid-header
+        or mid-payload means the peer died while writing — the caller gets
+        a :class:`TruncatedStreamError` naming how many bytes were
+        stranded instead of a silently vanished tail.
+        """
+        self._closed = True
+        if self._buffer:
+            raise TruncatedStreamError(
+                f"stream ended mid-message with {len(self._buffer)} "
+                f"bytes stranded after {self.messages} complete messages"
+            )
+
+    def iter_feed(self, chunk: bytes) -> Iterator[Message]:
+        """Generator variant of :meth:`feed` (convenience for tests)."""
+        yield from self.feed(chunk)

@@ -22,11 +22,12 @@ experiments all run on the simulator.
 from __future__ import annotations
 
 import os
+import random
 import select
 import socket
 import threading
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 from repro.net.blocking import BlockingCounter
 from repro.streams.splitter import RegionStalledError
@@ -52,6 +53,58 @@ class PeerDeadError(ConnectionError):
 
 class SendTimeoutError(TimeoutError):
     """A send did not become possible within the sender's ``send_timeout``."""
+
+
+def connect_with_backoff(
+    connect: Callable[[], socket.socket],
+    *,
+    deadline: float = 5.0,
+    backoff_start: float = 0.02,
+    backoff_max: float = 0.5,
+    jitter: float = 0.5,
+    rng: random.Random | None = None,
+) -> socket.socket:
+    """Call ``connect`` until it succeeds or ``deadline`` seconds elapse.
+
+    A restarting worker races its own listener: the supervisor may dial
+    before the fresh process has bound its socket, and the very first
+    attempt gets ``ECONNREFUSED``. One refused dial is not a dead peer —
+    this helper retries with jittered exponential backoff (full jitter on
+    ``jitter`` of each sleep, so a fleet of reconnecting senders does not
+    dial in lockstep) and only raises :class:`PeerDeadError` once the
+    total ``deadline`` is spent.
+
+    ``connect`` is any zero-argument callable returning a connected
+    socket — typically ``lambda: socket.create_connection(addr)``.
+    """
+    check_positive("deadline", deadline)
+    check_positive("backoff_start", backoff_start)
+    check_positive("backoff_max", backoff_max)
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+    rng = rng if rng is not None else random.Random()
+    started = time.monotonic()
+    give_up = started + deadline
+    pause = backoff_start
+    attempts = 0
+    last: OSError | None = None
+    while True:
+        attempts += 1
+        try:
+            return connect()
+        except OSError as exc:
+            last = exc
+        remaining = give_up - time.monotonic()
+        if remaining <= 0:
+            raise PeerDeadError(
+                f"could not connect within {deadline:g}s "
+                f"({attempts} attempts; last error: {last})"
+            ) from last
+        # Full jitter on the tail of the pause: sleep in
+        # [pause*(1-jitter), pause], capped by the remaining budget.
+        sleep = pause - (pause * jitter * rng.random())
+        time.sleep(min(sleep, remaining))
+        pause = min(pause * 2.0, backoff_max)
 
 
 class BlockingSocketSender:
@@ -106,6 +159,35 @@ class BlockingSocketSender:
             old.close()
         except OSError:
             pass
+
+    def reconnect(
+        self,
+        connect: Callable[[], socket.socket],
+        *,
+        deadline: float = 5.0,
+        backoff_start: float = 0.02,
+        backoff_max: float = 0.5,
+        jitter: float = 0.5,
+        rng: random.Random | None = None,
+    ) -> None:
+        """Re-establish the transport on a freshly dialed socket.
+
+        :func:`connect_with_backoff` tolerates the restarting-listener
+        race (``ECONNREFUSED`` on early dials) instead of failing on the
+        first refused attempt; the winning socket is installed with
+        :meth:`replace_socket`, so counters and frame counts carry over.
+        Raises :class:`PeerDeadError` when the deadline is spent.
+        """
+        self.replace_socket(
+            connect_with_backoff(
+                connect,
+                deadline=deadline,
+                backoff_start=backoff_start,
+                backoff_max=backoff_max,
+                jitter=jitter,
+                rng=rng,
+            )
+        )
 
     def try_send(self, frame: bytes) -> bool:
         """One non-blocking attempt; ``False`` means it would block.
@@ -245,6 +327,23 @@ class _FrameAssembler:
             self.bytes_copied += len(buffer)
             self.frames += frames
         return frames
+
+    def eof(self) -> None:
+        """Declare the stream ended; raises if a partial frame remains.
+
+        A clean shutdown lands on a frame boundary; EOF mid-frame means
+        the peer died while writing and the tail can never complete. The
+        caller gets a :class:`~repro.net.framing.TruncatedStreamError`
+        naming the stranded bytes — never a silently dropped partial
+        tuple.
+        """
+        if self._buffer:
+            from repro.net.framing import TruncatedStreamError
+
+            raise TruncatedStreamError(
+                f"stream ended mid-frame with {len(self._buffer)} of "
+                f"{self.frame_size} bytes after {self.frames} whole frames"
+            )
 
 
 class _SocketWorker(threading.Thread):
@@ -388,13 +487,19 @@ class SocketMiniRegion:
         """Shut the region down and join the workers. Idempotent.
 
         A worker that fails to exit within ``join_timeout`` or that died
-        with an exception is an error, not a silent leak: the first
-        stashed worker failure is re-raised, and stuck workers raise
-        :class:`~repro.streams.splitter.RegionStalledError` naming them.
-        Sockets are closed either way, and a second :meth:`close` is a
-        no-op — failures already reported once are not re-raised (the
-        common ``with``-block pattern closes once in the body on error
-        and once again in ``__exit__``).
+        with an exception is an error, not a silent leak — and no worker
+        hides another: *every* stuck and dead worker is gathered before
+        anything is raised. A single dead worker re-raises its original
+        exception (full traceback preserved); any other combination
+        raises one aggregated
+        :class:`~repro.streams.splitter.RegionStalledError` listing all
+        stuck/dead workers. References to stuck worker threads are
+        dropped so they cannot pin their sockets (the threads are
+        daemons; the interpreter reaps them at exit). Sockets are closed
+        either way, and a second :meth:`close` is a no-op — failures
+        already reported once are not re-raised (the common
+        ``with``-block pattern closes once in the body on error and once
+        again in ``__exit__``).
         """
         if self._closed:
             return
@@ -413,13 +518,32 @@ class SocketMiniRegion:
             sender.sock.close()
         for worker in self.workers:
             worker.sock.close()
-        for worker in self.workers:
-            if worker._failure is not None:
-                raise worker._failure
+        dead = [
+            (index, worker._failure)
+            for index, worker in enumerate(self.workers)
+            if worker._failure is not None
+        ]
         if stuck:
+            # A stuck daemon thread must not keep the dead region (and
+            # its sockets) reachable through the workers list.
+            self.workers = [
+                w for i, w in enumerate(self.workers) if i not in set(stuck)
+            ]
+        if dead and not stuck and len(dead) == 1:
+            raise dead[0][1]
+        if stuck or dead:
+            problems = []
+            if stuck:
+                problems.append(
+                    f"workers {stuck} did not exit within "
+                    f"{self.join_timeout:g}s of shutdown"
+                )
+            problems += [
+                f"worker {index} died with {type(exc).__name__}: {exc}"
+                for index, exc in dead
+            ]
             raise RegionStalledError(
-                f"workers {stuck} did not exit within "
-                f"{self.join_timeout:g}s of shutdown"
+                "region shutdown failed: " + "; ".join(problems)
             )
 
     def __enter__(self) -> "SocketMiniRegion":

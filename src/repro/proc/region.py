@@ -1,0 +1,764 @@
+"""The multi-process ordered region: splitter + merger in the parent.
+
+Topology::
+
+    caller thread --submit()--> weighted splitter --TCP--> worker procs
+    acceptor thread: accepts (re)connecting workers, reads HELLO
+    one receiver thread per live connection: results, heartbeats
+    supervisor monitor thread: liveness, restarts (repro.proc.supervisor)
+
+Correctness invariants, in the order they matter:
+
+1. *Bounded retransmit buffers.* Every tuple is registered in its
+   worker's ``unacked`` map **before** the bytes hit the socket, and
+   removed only when its RESULT arrives. A worker's window is capped at
+   ``window`` in-flight tuples; the splitter blocks (and charges the
+   paper's per-connection blocking counter) when its weighted choice is
+   full — the same backpressure signal the balancer consumes in the
+   simulator.
+
+2. *Exactly-once output across kills.* A global ``seq -> owner`` map
+   dedupes: the first RESULT for a sequence wins, later ones (a replay
+   racing the original worker's last breath) are dropped. On a death the
+   dead slot's unacked tuples are replayed to survivors — or parked
+   until a restart lands — so the merger always converges to the full
+   gap-free sequence.
+
+3. *No blocking sends under the region lock.* Death handling collects
+   replay entries under the lock but performs the sends outside it;
+   a send that fails simply funnels into the same death path.
+
+The ordered merger is a tiny reorder buffer keyed on the global
+sequence number; output order is submission order regardless of which
+worker (or which incarnation of which worker) serviced each tuple.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.net import framing
+from repro.net.blocking import BlockingCounter
+from repro.net.socket_transport import RegionStalledError
+from repro.proc.supervisor import (
+    UP,
+    QUARANTINED,
+    Supervisor,
+    SupervisorConfig,
+    WorkerSlot,
+)
+from repro.util.validation import check_positive
+
+
+@dataclass(slots=True)
+class ProcessRunStats:
+    """Outcome of one process-backend run, in plain numbers."""
+
+    #: Tuples submitted (sequence numbers issued).
+    tuples: int
+    #: Unique results delivered through the ordered merger.
+    results: int
+    #: Redundant results dropped by the seq->owner dedup.
+    duplicates_dropped: int
+    #: Tuples re-sent after a worker death.
+    replayed: int
+    #: Supervised restarts performed.
+    restarts: int
+    #: Slots permanently removed by the restart-budget circuit breaker.
+    quarantined: list[int]
+    #: Worker death episodes detected.
+    episodes: int
+    #: Fault-injection -> detection latency of the first episode (s).
+    time_to_quarantine: float | None
+    #: Detection -> service-restored latency of the first episode (s).
+    time_to_reconverge: float | None
+    #: Region-clock duration of the run.
+    wall_seconds: float
+    #: Results credited to each slot (all incarnations).
+    per_worker_results: list[int]
+    #: Splitter blocking charged to each slot, in seconds.
+    blocked_seconds: list[float]
+    #: ``(slot, signal)`` escalations needed at shutdown.
+    escalated: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "tuples": self.tuples,
+            "results": self.results,
+            "duplicates_dropped": self.duplicates_dropped,
+            "replayed": self.replayed,
+            "restarts": self.restarts,
+            "quarantined": list(self.quarantined),
+            "episodes": self.episodes,
+            "time_to_quarantine": self.time_to_quarantine,
+            "time_to_reconverge": self.time_to_reconverge,
+            "wall_seconds": self.wall_seconds,
+            "per_worker_results": list(self.per_worker_results),
+            "blocked_seconds": list(self.blocked_seconds),
+            "escalated": [list(e) for e in self.escalated],
+        }
+
+
+class _Reorderer:
+    """Reorder buffer: emits ``(seq, body)`` in global sequence order."""
+
+    __slots__ = ("next_expected", "pending")
+
+    def __init__(self) -> None:
+        self.next_expected = 0
+        self.pending: dict[int, bytes] = {}
+
+    def push(self, seq: int, body: bytes) -> list[tuple[int, bytes]]:
+        """Absorb one result; return everything now emittable, in order."""
+        if seq < self.next_expected or seq in self.pending:
+            return []  # defensive: the owner map should have deduped
+        self.pending[seq] = body
+        out: list[tuple[int, bytes]] = []
+        while self.next_expected in self.pending:
+            out.append(
+                (self.next_expected, self.pending.pop(self.next_expected))
+            )
+            self.next_expected += 1
+        return out
+
+    @property
+    def held(self) -> int:
+        return len(self.pending)
+
+
+class ProcessRegion:
+    """An ordered data-parallel region over real worker processes."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        multipliers: Sequence[float] | None = None,
+        window: int = 64,
+        supervisor_config: SupervisorConfig | None = None,
+        balancer=None,
+        balancer_interval: float = 1.0,
+        initial_weights: Sequence[float] | None = None,
+        send_stall_timeout: float = 30.0,
+        sink: Callable[[int, bytes], None] | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        check_positive("n_workers", n_workers)
+        check_positive("window", window)
+        check_positive("balancer_interval", balancer_interval)
+        check_positive("send_stall_timeout", send_stall_timeout)
+        if multipliers is None:
+            multipliers = [1.0] * n_workers
+        if len(multipliers) != n_workers:
+            raise ValueError(
+                f"{len(multipliers)} multipliers for {n_workers} workers"
+            )
+        self.n_workers = n_workers
+        self.window = window
+        self.balancer = balancer
+        self.balancer_interval = balancer_interval
+        self.send_stall_timeout = send_stall_timeout
+        self.sink = sink
+        self.host = host
+        self._lock = threading.RLock()
+        self._cv = threading.Condition(self._lock)
+        self.slots = [
+            WorkerSlot(index=j, multiplier=float(m))
+            for j, m in enumerate(multipliers)
+        ]
+        #: The paper's per-connection cumulative blocking counters,
+        #: charged with real wall time the splitter spends blocked.
+        self.block_counters = [BlockingCounter() for _ in range(n_workers)]
+        # Routing weights: explicit override first, then balancer-solved,
+        # then static speed-proportional (1/multiplier).
+        if initial_weights is not None:
+            if len(initial_weights) != n_workers:
+                raise ValueError(
+                    f"{len(initial_weights)} initial_weights for "
+                    f"{n_workers} workers"
+                )
+            total = sum(initial_weights)
+            if total <= 0:
+                raise ValueError("initial_weights must sum to > 0")
+            self._route_weights = [w / total for w in initial_weights]
+        elif balancer is not None:
+            self._route_weights = [float(w) for w in balancer.weights]
+        else:
+            inv = [1.0 / m for m in multipliers]
+            total = sum(inv)
+            self._route_weights = [w / total for w in inv]
+        self._wrr = [0.0] * n_workers
+        self._last_balance = 0.0
+        self._socks: list[socket.socket | None] = [None] * n_workers
+        self._send_locks = [threading.Lock() for _ in range(n_workers)]
+        self._recv_threads: list[threading.Thread] = []
+        self._owner: dict[int, int] = {}
+        self._parked: list[tuple[int, float, bytes]] = []
+        self._reorderer = _Reorderer()
+        self.outputs: list[tuple[int, bytes]] = []
+        self._next_seq = 0
+        self._results = 0
+        self._duplicates = 0
+        self._replayed = 0
+        self._service_seconds = 0.0
+        self._fatal: Exception | None = None
+        self._closing = False
+        self._started = False
+        self._t0: float | None = None
+        self._escalated: list[tuple[int, str]] = []
+        self._obs = None
+        self._blocking_hist = None
+        # Bind before the supervisor exists so spawns know the port.
+        self._listener_sock = socket.socket(
+            socket.AF_INET, socket.SOCK_STREAM
+        )
+        self._listener_sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+        )
+        self._listener_sock.bind((host, 0))
+        self._listener_sock.listen(n_workers * 2)
+        self.port = self._listener_sock.getsockname()[1]
+        self.supervisor = Supervisor(
+            self.slots,
+            port=self.port,
+            listener=self,
+            lock=self._lock,
+            clock=self.clock,
+            config=supervisor_config,
+            host=host,
+        )
+        self._accept_thread: threading.Thread | None = None
+
+    # ----------------------------------------------------------------- clock
+
+    def clock(self) -> float:
+        """Region wall clock: seconds since :meth:`start` (0 before)."""
+        return 0.0 if self._t0 is None else time.monotonic() - self._t0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ProcessRegion":
+        if self._started:
+            raise RuntimeError("region already started")
+        self._started = True
+        self._t0 = time.monotonic()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-region-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self.supervisor.start()
+        return self
+
+    def submit(self, cost_seconds: float, body: bytes = b"") -> int:
+        """Route one tuple; blocks on backpressure; returns its seq."""
+        if not self._started:
+            raise RuntimeError("region not started")
+        if self._closing:
+            raise RuntimeError("region is closing")
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+        self._route_and_send(seq, cost_seconds, body, replay=False)
+        return seq
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every submitted tuple's result has been merged."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while True:
+                if self._fatal is not None:
+                    raise self._fatal
+                if self._results >= self._next_seq:
+                    return
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise RegionStalledError(
+                        f"drain timed out with {self._results} of "
+                        f"{self._next_seq} results after {timeout:g}s"
+                    )
+                self._cv.wait(timeout=0.1 if remaining is None
+                              else min(0.1, remaining))
+
+    def close(self) -> list[tuple[int, str]]:
+        """Graceful shutdown: EOS to every live worker, then escalate.
+
+        Returns the ``(slot, signal)`` escalations that were required;
+        an empty list means every worker drained and exited on its own.
+        """
+        with self._cv:
+            if self._closing:
+                return list(self._escalated)
+            self._closing = True
+            self._cv.notify_all()
+        for slot in self.slots:
+            if slot.state == UP:
+                self._send_frame(slot.index, framing.encode_eos())
+        self._escalated = self.supervisor.shutdown()
+        try:
+            self._listener_sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        with self._lock:
+            for j, sock in enumerate(self._socks):
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:  # pragma: no cover
+                        pass
+                    self._socks[j] = None
+        for thread in self._recv_threads:
+            thread.join(timeout=5.0)
+        return list(self._escalated)
+
+    def run(
+        self,
+        costs: Sequence[float],
+        *,
+        bodies: Sequence[bytes] | None = None,
+        timeout: float | None = None,
+    ) -> ProcessRunStats:
+        """Convenience: start if needed, submit all, drain, close."""
+        if not self._started:
+            self.start()
+        try:
+            for i, cost in enumerate(costs):
+                self.submit(
+                    cost, b"" if bodies is None else bodies[i]
+                )
+            self.drain(timeout=timeout)
+        finally:
+            self.close()
+        return self.stats()
+
+    def stats(self) -> ProcessRunStats:
+        with self._lock:
+            return ProcessRunStats(
+                tuples=self._next_seq,
+                results=self._results,
+                duplicates_dropped=self._duplicates,
+                replayed=self._replayed,
+                restarts=self.supervisor.restarts,
+                quarantined=self.supervisor.quarantined,
+                episodes=len(self.supervisor.episodes),
+                time_to_quarantine=(
+                    self.supervisor.first_time_to_quarantine()
+                ),
+                time_to_reconverge=(
+                    self.supervisor.first_time_to_reconverge()
+                ),
+                wall_seconds=self.clock(),
+                per_worker_results=[s.results for s in self.slots],
+                blocked_seconds=[
+                    c.lifetime_seconds for c in self.block_counters
+                ],
+                escalated=list(self._escalated),
+            )
+
+    # --------------------------------------------------------------- control
+
+    def send_control(self, index: int, multiplier: float) -> bool:
+        """Set a live worker's service-time multiplier (slowdown faults)."""
+        return self._send_frame(index, framing.encode_control(multiplier))
+
+    @property
+    def results(self) -> int:
+        with self._lock:
+            return self._results
+
+    @property
+    def emitted(self) -> int:
+        """Tuples emitted by the ordered merger (gap-free prefix)."""
+        with self._lock:
+            return self._reorderer.next_expected
+
+    def attach_observability(self, hub) -> None:
+        """Register region + supervisor instruments on ``hub``.
+
+        Construct the hub with :meth:`clock` so span timestamps, metric
+        snapshots, and the supervisor's ttq/ttr episodes all share the
+        region wall clock.
+        """
+        self._obs = hub
+        self.supervisor.attach_observability(hub)
+        registry = hub.registry
+        registry.gauge_fn(
+            "process_region_results_total",
+            lambda: self._results,
+            help="Unique results merged",
+        )
+        registry.gauge_fn(
+            "process_region_replayed_total",
+            lambda: self._replayed,
+            help="Tuples replayed after worker deaths",
+        )
+        registry.gauge_fn(
+            "process_region_duplicates_total",
+            lambda: self._duplicates,
+            help="Redundant results dropped by dedup",
+        )
+        registry.gauge_fn(
+            "process_region_inflight",
+            lambda: sum(len(s.unacked) for s in self.slots),
+            help="Tuples awaiting results across all workers",
+        )
+        self._blocking_hist = registry.histogram(
+            "process_region_block_seconds",
+            help="Splitter blocking episode durations",
+        )
+
+    # ---------------------------------------------- supervisor callbacks
+
+    def on_slot_down(self, slot: WorkerSlot, reason: str) -> None:
+        """Fail over: detach the socket, replay the dead slot's window."""
+        with self._cv:
+            sock = self._socks[slot.index]
+            self._socks[slot.index] = None
+            entries = sorted(slot.unacked.items())
+            slot.unacked.clear()
+            for seq, _ in entries:
+                self._owner.pop(seq, None)
+            self._replayed += len(entries)
+            self._cv.notify_all()
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._closing:
+            return
+        for seq, (cost, body) in entries:
+            self._route_and_send(seq, cost, body, replay=True)
+
+    def on_slot_up(self, slot: WorkerSlot) -> None:
+        """A (re)connected worker is serving: flush parked tuples."""
+        with self._cv:
+            parked, self._parked = self._parked, []
+            self._cv.notify_all()
+        for seq, cost, body in sorted(parked):
+            self._route_and_send(seq, cost, body, replay=True)
+
+    def on_slot_quarantined(self, slot: WorkerSlot) -> None:
+        """The circuit breaker removed a slot: re-solve the weights."""
+        with self._cv:
+            if self.balancer is not None:
+                if slot.index not in self.balancer.quarantined:
+                    self.balancer.quarantine(slot.index)
+                self._route_weights = [
+                    float(w) for w in self.balancer.weights
+                ]
+            else:
+                # Renormalize speed-proportional weights over survivors.
+                live = [
+                    s for s in self.slots if s.state != QUARANTINED
+                ]
+                if live:
+                    inv = {s.index: 1.0 / s.multiplier for s in live}
+                    total = sum(inv.values())
+                    self._route_weights = [
+                        inv.get(j, 0.0) / total
+                        for j in range(self.n_workers)
+                    ]
+            if all(s.state == QUARANTINED for s in self.slots):
+                self._fatal = RegionStalledError(
+                    "every worker slot exhausted its restart budget; "
+                    "the region cannot make progress"
+                )
+            self._cv.notify_all()
+
+    # -------------------------------------------------------------- routing
+
+    def _pick_locked(self) -> tuple[WorkerSlot | None, int | None]:
+        """Smooth weighted round-robin over serving slots.
+
+        Returns ``(slot, None)`` on success. When the weighted choice's
+        retransmit window is full, returns ``(None, index)`` without
+        mutating scheduler state — the caller blocks on that slot (the
+        paper's blocking signal) and retries the identical choice.
+        Returns ``(None, None)`` when no slot is serving at all.
+        """
+        eligible = [
+            s for s in self.slots
+            if s.state == UP and self._socks[s.index] is not None
+        ]
+        if not eligible:
+            return None, None
+        total = 0.0
+        best = None
+        best_score = 0.0
+        for s in eligible:
+            w = max(self._route_weights[s.index], 1e-9)
+            total += w
+            score = self._wrr[s.index] + w
+            if best is None or score > best_score:
+                best, best_score = s, score
+        if len(best.unacked) >= self.window:
+            return None, best.index
+        for s in eligible:
+            self._wrr[s.index] += max(self._route_weights[s.index], 1e-9)
+        self._wrr[best.index] -= total
+        return best, None
+
+    def _route_and_send(
+        self, seq: int, cost: float, body: bytes, *, replay: bool
+    ) -> None:
+        """Pick a worker and ship one tuple, blocking on backpressure.
+
+        Replays never block: a full window is tolerated (transiently up
+        to 2x bounded) and a dead region parks the tuple for the next
+        slot-up instead of wedging a supervisor callback thread.
+        """
+        block_started: float | None = None
+        block_slot: int | None = None
+        stall_deadline = time.monotonic() + self.send_stall_timeout
+        while True:
+            with self._cv:
+                if self._fatal is not None:
+                    raise self._fatal
+                if self._closing and not replay:
+                    raise RuntimeError("region is closing")
+                self._maybe_rebalance_locked()
+                slot, blocked_on = self._pick_locked()
+                if slot is None and replay:
+                    if blocked_on is not None:
+                        # Over-commit the window rather than block a
+                        # failover path.
+                        slot = self.slots[blocked_on]
+                    else:
+                        self._parked.append((seq, cost, body))
+                        return
+                if slot is not None:
+                    if block_started is not None:
+                        self._charge_block(block_started, block_slot)
+                        block_started = None
+                    slot.unacked[seq] = (cost, body)
+                    self._owner[seq] = slot.index
+                    index = slot.index
+                    incarnation = slot.incarnation
+                else:
+                    if blocked_on is not None:
+                        if block_started is None or block_slot != blocked_on:
+                            if block_started is not None:
+                                self._charge_block(block_started, block_slot)
+                            block_started = time.monotonic()
+                            block_slot = blocked_on
+                    elif block_started is not None:
+                        # An outage (no serving slot) is downtime, not
+                        # backpressure: close the blocking episode.
+                        self._charge_block(block_started, block_slot)
+                        block_started = None
+                    if time.monotonic() > stall_deadline:
+                        raise RegionStalledError(
+                            f"no worker accepted seq {seq} within "
+                            f"{self.send_stall_timeout:g}s "
+                            f"(blocked_on={blocked_on})"
+                        )
+                    self._cv.wait(timeout=0.05)
+                    continue
+            # Socket I/O strictly outside the region lock.
+            frame = framing.encode_data(seq, cost, body)
+            if self._send_frame(index, frame):
+                return
+            # Send failure == death; the failover replays seq for us
+            # (declare_dead is a no-op if another path beat us to it,
+            # but then that path already detached this incarnation).
+            self.supervisor.declare_dead(
+                index, "send failed", incarnation=incarnation
+            )
+            with self._lock:
+                if self._owner.get(seq) != index:
+                    # The failover drained the dead window first: seq is
+                    # already replayed, parked, or even completed.
+                    return
+                # Failover didn't see it (we registered after the death
+                # was handled): reclaim and re-route ourselves.
+                self._owner.pop(seq, None)
+                self.slots[index].unacked.pop(seq, None)
+
+    def _charge_block(self, started: float, slot_index: int | None) -> None:
+        """Close one splitter blocking episode (lock held)."""
+        duration = time.monotonic() - started
+        if slot_index is None:
+            return
+        self.block_counters[slot_index].add(duration)
+        if self._obs is not None:
+            end = self.clock()
+            self._obs.tracer.record(
+                "blocking", end - duration, end, channel=slot_index
+            )
+            if self._blocking_hist is not None:
+                self._blocking_hist.observe(duration)
+
+    def _maybe_rebalance_locked(self) -> None:
+        """Feed the blocking counters to the balancer once per interval."""
+        if self.balancer is None:
+            return
+        now = self.clock()
+        if now - self._last_balance < self.balancer_interval:
+            return
+        self._last_balance = now
+        weights = self.balancer.update(
+            now, [c.read() for c in self.block_counters]
+        )
+        if weights is not None:
+            self._route_weights = [float(w) for w in weights]
+
+    # ------------------------------------------------------------ transport
+
+    def _send_frame(self, index: int, frame: bytes) -> bool:
+        with self._send_locks[index]:
+            sock = self._socks[index]
+            if sock is None:
+                return False
+            try:
+                sock.sendall(frame)
+                return True
+            except OSError:
+                return False
+
+    def _accept_loop(self) -> None:
+        # The listener carries an accept timeout: closing a socket from
+        # another thread does not wake a blocked accept() on Linux, so
+        # the loop must poll its own exit condition.
+        self._listener_sock.settimeout(0.25)
+        while True:
+            try:
+                conn, _ = self._listener_sock.accept()
+            except TimeoutError:
+                if self._closing:
+                    return
+                continue
+            except OSError:
+                return  # listener closed: region shutdown
+            try:
+                self._admit(conn)
+            except (framing.TruncatedStreamError, OSError, ValueError):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+    def _admit(self, conn: socket.socket) -> None:
+        """Read HELLO, attach the connection, hand the slot to serving."""
+        conn.settimeout(10.0)
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover
+            pass
+        assembler = framing.MessageAssembler()
+        hello = None
+        backlog: list[framing.Message] = []
+        while hello is None:
+            chunk = conn.recv(65536)
+            if not chunk:
+                raise framing.TruncatedStreamError("EOF before HELLO")
+            messages = assembler.feed(chunk)
+            if messages:
+                if messages[0].type != framing.MSG_HELLO:
+                    raise ValueError(
+                        f"first message must be HELLO, got "
+                        f"type={messages[0].type}"
+                    )
+                hello = messages[0]
+                backlog = messages[1:]
+        worker_id, incarnation = hello.hello()
+        if not 0 <= worker_id < self.n_workers:
+            raise ValueError(f"HELLO from unknown worker {worker_id}")
+        conn.settimeout(None)
+        slot = self.slots[worker_id]
+        with self._lock:
+            if (
+                incarnation != slot.incarnation
+                or slot.state == QUARANTINED
+                or self._closing
+            ):
+                conn.close()
+                return
+            old = self._socks[worker_id]
+            self._socks[worker_id] = conn
+        if old is not None:  # pragma: no cover - stale socket leak guard
+            try:
+                old.close()
+            except OSError:
+                pass
+        receiver = threading.Thread(
+            target=self._receive_loop,
+            args=(slot, conn, assembler, incarnation, backlog),
+            name=f"repro-region-recv-{worker_id}",
+            daemon=True,
+        )
+        self._recv_threads.append(receiver)
+        receiver.start()
+        if not self.supervisor.on_connected(worker_id, incarnation):
+            with self._lock:
+                if self._socks[worker_id] is conn:
+                    self._socks[worker_id] = None
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _receive_loop(
+        self,
+        slot: WorkerSlot,
+        conn: socket.socket,
+        assembler: framing.MessageAssembler,
+        incarnation: int,
+        backlog: list[framing.Message],
+    ) -> None:
+        torn = None
+        try:
+            for message in backlog:
+                self._handle_message(slot, incarnation, message)
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    assembler.eof()  # raises if the peer died mid-frame
+                    break
+                for message in assembler.feed(chunk):
+                    self._handle_message(slot, incarnation, message)
+        except framing.TruncatedStreamError as exc:
+            torn = str(exc)
+        except OSError:
+            pass
+        if not self._closing:
+            self.supervisor.declare_dead(
+                slot.index,
+                torn or "connection lost",
+                incarnation=incarnation,
+            )
+
+    def _handle_message(
+        self, slot: WorkerSlot, incarnation: int, message: framing.Message
+    ) -> None:
+        if message.type == framing.MSG_RESULT:
+            seq, _service, body = message.result()
+            with self._cv:
+                owner = self._owner.pop(seq, None)
+                if owner is None:
+                    self._duplicates += 1
+                else:
+                    self.slots[owner].unacked.pop(seq, None)
+                    slot.results += 1
+                    self._results += 1
+                    for out_seq, out_body in self._reorderer.push(seq, body):
+                        if self.sink is not None:
+                            self.sink(out_seq, out_body)
+                        else:
+                            self.outputs.append((out_seq, out_body))
+                    self._cv.notify_all()
+            self.supervisor.heartbeat(slot.index, incarnation)
+        elif message.type == framing.MSG_HEARTBEAT:
+            _processed, beat_incarnation = message.heartbeat()
+            self.supervisor.heartbeat(slot.index, beat_incarnation)
+        elif message.type == framing.MSG_BYE:
+            self.supervisor.heartbeat(slot.index, incarnation)
+        # HELLO/DATA/CONTROL/EOS are parent->worker or handled at admit.

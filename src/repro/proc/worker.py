@@ -1,0 +1,201 @@
+"""The worker process: ``python -m repro.proc.worker``.
+
+One worker = one OS process = one duplex TCP connection back to the
+parent region. The loop is deliberately primitive — a single thread
+multiplexing reads, service work, and heartbeats with ``select`` — so
+that the only ways it stops are exactly the failure modes the
+supervisor is built to handle:
+
+* ``SIGKILL`` — the process vanishes; the parent sees a dead socket and
+  missed heartbeats.
+* ``SIGSTOP`` — the process freezes mid-loop; the socket stays open but
+  heartbeats stop (the piggybacked-liveness case a separate health port
+  would get wrong).
+* ``SIGTERM`` — *graceful drain*: the worker finishes every tuple it
+  has already read, sends ``BYE``, and exits 0.
+* ``EOS`` from the parent — same drain, initiated over the data channel.
+* EOF from the parent — the region is gone; exit quietly.
+
+Service work is simulated per tuple from the cost carried in each DATA
+frame times the worker's ``--multiplier`` (heterogeneous capacity) times
+a runtime CONTROL multiplier (host-slowdown faults). ``--mode spin``
+burns CPU for the duration (the multi-core benchmark), ``--mode sleep``
+sleeps it (cheap tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import select
+import signal
+import socket
+import sys
+import time
+from collections import deque
+
+from repro.net import framing
+
+
+class WorkerMain:
+    """The worker loop, factored as a class for in-process testing."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        worker_id: int,
+        incarnation: int,
+        *,
+        multiplier: float = 1.0,
+        heartbeat_interval: float = 0.1,
+        mode: str = "sleep",
+        exit_after: int | None = None,
+        exit_code: int = 1,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        if mode not in ("sleep", "spin"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id
+        self.incarnation = incarnation
+        self.multiplier = multiplier
+        self.heartbeat_interval = heartbeat_interval
+        self.mode = mode
+        #: Debug harness: die with ``exit_code`` after N tuples — a
+        #: deterministic stand-in for an external SIGKILL in tests of
+        #: nonzero-exit crash detection.
+        self.exit_after = exit_after
+        self.exit_code = exit_code
+        self.connect_timeout = connect_timeout
+        self.control_multiplier = 1.0
+        self.processed = 0
+        self._draining = False
+
+    # ------------------------------------------------------------- service
+
+    def _service(self, cost_seconds: float) -> float:
+        """Perform one tuple's work; return the realized duration."""
+        duration = cost_seconds * self.multiplier * self.control_multiplier
+        if duration <= 0:
+            return 0.0
+        if self.mode == "sleep":
+            time.sleep(duration)
+            return duration
+        # Spin: burn the CPU so N workers genuinely occupy N cores.
+        deadline = time.perf_counter() + duration
+        x = 1
+        while time.perf_counter() < deadline:
+            x = (x * 1103515245 + 12345) & 0x7FFFFFFF
+        return duration
+
+    # ---------------------------------------------------------------- loop
+
+    def run(self) -> int:
+        """Connect, serve until told (or made) to stop; return exit code."""
+        signal.signal(signal.SIGTERM, self._on_sigterm)
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - AF_UNIX in exotic setups
+            pass
+        sock.settimeout(None)
+        sock.sendall(framing.encode_hello(self.worker_id, self.incarnation))
+        assembler = framing.MessageAssembler()
+        queue: deque[tuple[int, float, bytes]] = deque()
+        next_heartbeat = time.monotonic() + self.heartbeat_interval
+        try:
+            while True:
+                if self._draining and not queue:
+                    sock.sendall(framing.encode_bye(self.processed))
+                    return 0
+                now = time.monotonic()
+                if now >= next_heartbeat:
+                    sock.sendall(
+                        framing.encode_heartbeat(
+                            self.processed, self.incarnation
+                        )
+                    )
+                    next_heartbeat = now + self.heartbeat_interval
+                # Poll for input; don't sleep if there is work queued.
+                timeout = 0.0 if queue else min(
+                    self.heartbeat_interval, next_heartbeat - now
+                )
+                readable, _, _ = select.select(
+                    [sock], [], [], max(0.0, timeout)
+                )
+                if readable:
+                    try:
+                        chunk = sock.recv(65536)
+                    except OSError:
+                        return 0
+                    if not chunk:
+                        return 0  # parent is gone; nothing to report to
+                    for message in assembler.feed(chunk):
+                        if message.type == framing.MSG_DATA:
+                            queue.append(message.data())
+                        elif message.type == framing.MSG_CONTROL:
+                            self.control_multiplier = message.control()
+                        elif message.type == framing.MSG_EOS:
+                            self._draining = True
+                if queue:
+                    seq, cost, body = queue.popleft()
+                    realized = self._service(cost)
+                    sock.sendall(framing.encode_result(seq, realized, body))
+                    self.processed += 1
+                    if (
+                        self.exit_after is not None
+                        and self.processed >= self.exit_after
+                    ):
+                        return self.exit_code
+        except (framing.TruncatedStreamError, OSError):
+            # A torn parent stream / dead parent: nothing useful left to
+            # do. Exit zero — the parent decides what this death means.
+            return 0
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _on_sigterm(self, _signum, _frame) -> None:
+        self._draining = True
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.proc.worker",
+        description="One worker process of the multi-process dataplane.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--worker-id", type=int, required=True)
+    parser.add_argument("--incarnation", type=int, default=0)
+    parser.add_argument("--multiplier", type=float, default=1.0)
+    parser.add_argument("--heartbeat-interval", type=float, default=0.1)
+    parser.add_argument("--mode", choices=("sleep", "spin"), default="sleep")
+    parser.add_argument("--exit-after", type=int, default=None)
+    parser.add_argument("--exit-code", type=int, default=1)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    worker = WorkerMain(
+        args.host,
+        args.port,
+        args.worker_id,
+        args.incarnation,
+        multiplier=args.multiplier,
+        heartbeat_interval=args.heartbeat_interval,
+        mode=args.mode,
+        exit_after=args.exit_after,
+        exit_code=args.exit_code,
+    )
+    return worker.run()
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

@@ -77,8 +77,20 @@ class RegionParams:
     #: short-circuits on ``None``, and golden traces are byte-identical
     #: to a region without observability support.
     observability: bool = False
+    #: Execution backend. ``"sim"`` (the default) is the discrete-event
+    #: simulator — the workhorse for every experiment, byte-identical to
+    #: the seed. ``"process"`` runs the region as real OS processes over
+    #: real sockets (:mod:`repro.proc`): the supervisor spawns one worker
+    #: process per slot, faults become real signals, and all timing is
+    #: wall-clock. The experiment runner dispatches on this field.
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("sim", "process"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"choose 'sim' or 'process'"
+            )
         check_positive("send_capacity", self.send_capacity)
         check_positive("recv_capacity", self.recv_capacity)
         check_non_negative("wire_delay", self.wire_delay)

@@ -1,0 +1,176 @@
+"""Unit tests for the typed message framing and torn-frame edges.
+
+Covers both assemblers: :class:`repro.net.framing.MessageAssembler`
+(variable-length typed messages, the process dataplane's wire format)
+and the fixed-size :class:`repro.net.socket_transport._FrameAssembler`.
+The torn-frame cases — EOF mid-header, EOF mid-payload, 1-byte-at-a-time
+feeds — must either yield exactly the frames that were sent or raise a
+clean truncated-stream error; silent tail loss is the bug these tests
+pin down.
+"""
+
+import struct
+
+import pytest
+
+from repro.net import framing
+from repro.net.framing import (
+    MessageAssembler,
+    TruncatedStreamError,
+)
+from repro.net.socket_transport import _FrameAssembler
+
+
+def _all_messages() -> list[bytes]:
+    return [
+        framing.encode_hello(3, 7),
+        framing.encode_data(42, 0.125, b"payload"),
+        framing.encode_result(42, 0.5, b"payload"),
+        framing.encode_heartbeat(100, 7),
+        framing.encode_control(2.5),
+        framing.encode_eos(),
+        framing.encode_bye(100),
+    ]
+
+
+class TestMessageRoundTrip:
+    def test_every_type_round_trips(self):
+        assembler = MessageAssembler()
+        messages = assembler.feed(b"".join(_all_messages()))
+        assert [m.type for m in messages] == [
+            framing.MSG_HELLO,
+            framing.MSG_DATA,
+            framing.MSG_RESULT,
+            framing.MSG_HEARTBEAT,
+            framing.MSG_CONTROL,
+            framing.MSG_EOS,
+            framing.MSG_BYE,
+        ]
+        assert messages[0].hello() == (3, 7)
+        assert messages[1].data() == (42, 0.125, b"payload")
+        assert messages[2].result() == (42, 0.5, b"payload")
+        assert messages[3].heartbeat() == (100, 7)
+        assert messages[4].control() == 2.5
+        assert messages[5].payload == b""
+        assert messages[6].bye() == 100
+
+    def test_one_byte_at_a_time_yields_identical_messages(self):
+        wire = b"".join(_all_messages())
+        whole = MessageAssembler().feed(wire)
+        dribble = MessageAssembler()
+        out = []
+        for i in range(len(wire)):
+            out.extend(dribble.feed(wire[i:i + 1]))
+        assert out == whole
+        dribble.eof()  # clean boundary: no complaint
+
+    def test_random_chunk_boundaries(self):
+        wire = b"".join(_all_messages()) * 3
+        whole = MessageAssembler().feed(wire)
+        for step in (2, 3, 5, 7, 11):
+            assembler = MessageAssembler()
+            out = []
+            for i in range(0, len(wire), step):
+                out.extend(assembler.feed(wire[i:i + step]))
+            assert out == whole, f"chunk step {step} diverged"
+
+    def test_counts_and_pending(self):
+        assembler = MessageAssembler()
+        frame = framing.encode_data(1, 0.0, b"x" * 10)
+        assembler.feed(frame[:7])
+        assert assembler.messages == 0
+        assert assembler.pending_bytes == 7
+        assembler.feed(frame[7:])
+        assert assembler.messages == 1
+        assert assembler.pending_bytes == 0
+
+
+class TestMessageAssemblerTruncation:
+    def test_eof_mid_header_raises(self):
+        assembler = MessageAssembler()
+        assembler.feed(framing.encode_eos() + b"\x02\x00")
+        with pytest.raises(TruncatedStreamError, match="2 bytes stranded"):
+            assembler.eof()
+
+    def test_eof_mid_payload_raises(self):
+        assembler = MessageAssembler()
+        frame = framing.encode_data(9, 1.0, b"abcdef")
+        assembler.feed(frame[:-1])
+        with pytest.raises(
+            TruncatedStreamError, match="after 0 complete messages"
+        ):
+            assembler.eof()
+
+    def test_eof_on_boundary_is_clean(self):
+        assembler = MessageAssembler()
+        assembler.feed(framing.encode_bye(5))
+        assembler.eof()
+
+    def test_feed_after_eof_raises(self):
+        assembler = MessageAssembler()
+        assembler.eof()
+        with pytest.raises(TruncatedStreamError, match="feed after eof"):
+            assembler.feed(b"x")
+
+    def test_unknown_type_byte_is_desync(self):
+        assembler = MessageAssembler()
+        with pytest.raises(TruncatedStreamError, match="desynchronized"):
+            assembler.feed(struct.pack("!BI", 99, 4) + b"oops")
+
+    def test_absurd_length_is_desync(self):
+        assembler = MessageAssembler()
+        header = struct.pack(
+            "!BI", framing.MSG_DATA, framing.MAX_PAYLOAD + 1
+        )
+        with pytest.raises(TruncatedStreamError, match="desynchronized"):
+            assembler.feed(header)
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(ValueError, match="exceeds MAX_PAYLOAD"):
+            framing.encode(
+                framing.MSG_DATA, b"\x00" * (framing.MAX_PAYLOAD + 1)
+            )
+
+
+class TestFrameAssemblerTornFrames:
+    """The fixed-size assembler's torn-frame edges (satellite #3)."""
+
+    def test_one_byte_at_a_time_yields_exact_frames(self):
+        assembler = _FrameAssembler(frame_size=8)
+        wire = b"ABCDEFGH" + b"12345678" + b"abcdefgh"
+        completed = [assembler.feed(wire[i:i + 1]) for i in range(len(wire))]
+        assert sum(completed) == 3
+        assert assembler.frames == 3
+        # Frames complete exactly on every 8th byte, never elsewhere.
+        assert [i for i, c in enumerate(completed) if c] == [7, 15, 23]
+        assembler.eof()  # clean boundary
+
+    def test_eof_mid_frame_raises_with_counts(self):
+        assembler = _FrameAssembler(frame_size=8)
+        assembler.feed(b"ABCDEFGH" + b"123")
+        with pytest.raises(
+            ConnectionError, match=r"3 of 8 bytes after 1 whole frames"
+        ):
+            assembler.eof()
+
+    def test_eof_with_no_partial_bytes_is_clean(self):
+        assembler = _FrameAssembler(frame_size=4)
+        assert assembler.feed(b"wxyz") == 1
+        assembler.eof()
+
+    def test_eof_on_empty_stream_is_clean(self):
+        _FrameAssembler(frame_size=16).eof()
+
+    def test_eof_one_byte_short_of_first_frame(self):
+        assembler = _FrameAssembler(frame_size=4)
+        assembler.feed(b"abc")
+        with pytest.raises(
+            ConnectionError, match="3 of 4 bytes after 0 whole frames"
+        ):
+            assembler.eof()
+
+    def test_eof_error_is_a_truncated_stream_error(self):
+        assembler = _FrameAssembler(frame_size=4)
+        assembler.feed(b"ab")
+        with pytest.raises(TruncatedStreamError):
+            assembler.eof()

@@ -4,7 +4,9 @@ These exercise real OS sockets (AF_UNIX socket pairs) and kernel buffers;
 they are skipped automatically when the environment forbids sockets.
 """
 
+import random
 import socket
+import threading
 import time
 
 import pytest
@@ -12,8 +14,10 @@ import pytest
 from repro.net.socket_transport import (
     BlockingSocketSender,
     PeerDeadError,
+    RegionStalledError,
     SendTimeoutError,
     SocketMiniRegion,
+    connect_with_backoff,
 )
 
 
@@ -245,3 +249,169 @@ class TestSocketMiniRegion:
                 region.close()
         finally:
             stop.set()
+
+
+class _IgnoreShutdown(threading.Thread):
+    """A stand-in worker that ignores shutdown until told to stop."""
+
+    def __init__(self, sock, stop: threading.Event):
+        super().__init__(daemon=True)
+        self.sock = sock
+        self._failure = None
+        self._stop = stop
+
+    def run(self):
+        self._stop.wait(10.0)
+
+
+class TestCloseAggregation:
+    """close() must gather *every* stuck/dead worker before raising."""
+
+    def test_all_stuck_workers_are_listed(self):
+        stop = threading.Event()
+        region = SocketMiniRegion([0.0001] * 3, join_timeout=0.1)
+        for index in (0, 2):
+            stuck = _IgnoreShutdown(region.workers[index].sock, stop)
+            stuck.start()
+            region.workers[index] = stuck
+        try:
+            with pytest.raises(
+                RegionStalledError, match=r"workers \[0, 2\] did not exit"
+            ):
+                region.close()
+        finally:
+            stop.set()
+
+    def test_stuck_and_dead_aggregate_into_one_error(self):
+        stop = threading.Event()
+        region = SocketMiniRegion([0.0001] * 3, join_timeout=0.1)
+        stuck = _IgnoreShutdown(region.workers[0].sock, stop)
+        stuck.start()
+        region.workers[0] = stuck
+        region.workers[2]._failure = ValueError("worker exploded")
+        try:
+            with pytest.raises(RegionStalledError) as excinfo:
+                region.close()
+        finally:
+            stop.set()
+        message = str(excinfo.value)
+        assert "workers [0] did not exit" in message
+        assert "worker 2 died with ValueError: worker exploded" in message
+
+    def test_multiple_dead_workers_all_named(self):
+        region = SocketMiniRegion([0.0001] * 3)
+        region.workers[0]._failure = ValueError("first")
+        region.workers[1]._failure = KeyError("second")
+        with pytest.raises(RegionStalledError) as excinfo:
+            region.close()
+        message = str(excinfo.value)
+        assert "worker 0 died with ValueError: first" in message
+        assert "worker 1 died with KeyError" in message
+
+    def test_second_close_is_a_noop_after_failure(self):
+        region = SocketMiniRegion([0.0001])
+        region.workers[0]._failure = ValueError("once")
+        with pytest.raises(ValueError):
+            region.close()
+        region.close()  # with-block double close: reported once, not twice
+
+
+class TestConnectWithBackoff:
+    def test_succeeds_once_listener_appears(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        # Not listening yet: the first dials get ECONNREFUSED.
+        accepted = []
+
+        def listen_late():
+            time.sleep(0.15)
+            listener.listen(1)
+            conn, _ = listener.accept()
+            accepted.append(conn)
+
+        helper = threading.Thread(target=listen_late, daemon=True)
+        helper.start()
+        sock = connect_with_backoff(
+            lambda: socket.create_connection(("127.0.0.1", port)),
+            deadline=5.0,
+            backoff_start=0.02,
+            rng=random.Random(7),
+        )
+        helper.join(timeout=5.0)
+        try:
+            assert accepted, "listener never accepted the dial"
+        finally:
+            sock.close()
+            for conn in accepted:
+                conn.close()
+            listener.close()
+
+    def test_deadline_exhaustion_raises_peer_dead(self):
+        # A bound-but-never-listening port refuses every dial.
+        blackhole = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blackhole.bind(("127.0.0.1", 0))
+        port = blackhole.getsockname()[1]
+        started = time.monotonic()
+        try:
+            with pytest.raises(
+                PeerDeadError, match="could not connect within 0.3s"
+            ):
+                connect_with_backoff(
+                    lambda: socket.create_connection(
+                        ("127.0.0.1", port), timeout=0.2
+                    ),
+                    deadline=0.3,
+                    backoff_start=0.01,
+                    backoff_max=0.05,
+                    rng=random.Random(7),
+                )
+        finally:
+            blackhole.close()
+        assert time.monotonic() - started < 5.0
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            connect_with_backoff(
+                lambda: (_ for _ in ()).throw(OSError()), jitter=1.5
+            )
+
+    def test_sender_reconnect_uses_backoff(self):
+        left, right = _small_pair()
+        sender = BlockingSocketSender(left)
+        sender.send(b"x" * 64)
+        frames_before = sender.frames_sent
+        right.close()
+        with pytest.raises(PeerDeadError):
+            for _ in range(100):
+                sender.send(b"x" * 64)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        accepted = []
+
+        def listen_late():
+            time.sleep(0.1)
+            listener.listen(1)
+            conn, _ = listener.accept()
+            accepted.append(conn)
+
+        helper = threading.Thread(target=listen_late, daemon=True)
+        helper.start()
+        try:
+            sender.reconnect(
+                lambda: socket.create_connection(("127.0.0.1", port)),
+                deadline=5.0,
+                rng=random.Random(3),
+            )
+            helper.join(timeout=5.0)
+            sender.send(b"y" * 64)
+            assert accepted[0].recv(64) == b"y" * 64
+            assert sender.frames_sent > frames_before
+        finally:
+            sender.sock.close()
+            for conn in accepted:
+                conn.close()
+            listener.close()

@@ -1,0 +1,342 @@
+"""Integration tests for the multi-process dataplane.
+
+Every test here spawns real worker processes and kills some of them with
+real signals. They are the acceptance tests for the process backend:
+
+* ordered, gap-free, exactly-once output on the happy path;
+* a deterministic SIGKILL mid-batch with recovery (retransmit replay,
+  supervised restart, ttq/ttr episodes, detection/quarantine/restart
+  spans in the observability export);
+* SIGSTOP detected via missed heartbeats on the data channel;
+* a crash-looping worker tripping the restart-budget circuit breaker
+  while the survivors still finish the run;
+* repeated SIGKILLs (the CI ``process-chaos`` job's smoke case).
+
+Everything is bounded by internal deadlines (``drain(timeout=...)``), so
+a hung dataplane fails the assertion instead of hanging pytest.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.faults.schedule import FaultSchedule
+from repro.obs.hub import ObservabilityConfig, ObservabilityHub
+from repro.proc.faults import RealFaultDriver
+from repro.proc.region import ProcessRegion
+from repro.proc.supervisor import (
+    QUARANTINED,
+    STARTING,
+    UP,
+    SupervisorConfig,
+)
+
+pytestmark = pytest.mark.sockets
+
+# Fast supervision for tests: tight heartbeats, quick restarts.
+FAST = SupervisorConfig(
+    heartbeat_interval=0.02,
+    heartbeat_timeout=0.25,
+    monitor_interval=0.01,
+    backoff_start=0.02,
+    backoff_max=0.1,
+    restart_budget=5,
+    restart_window=30.0,
+)
+
+
+def run_region(region, costs, *, bodies=None, timeout=30.0, schedule=None):
+    """Run ``region`` to completion with an optional real-fault schedule."""
+    driver = None
+    outputs = None
+    try:
+        region.start()
+        if schedule is not None:
+            driver = RealFaultDriver(region, poll_interval=0.002)
+            schedule.arm_real(driver)
+            driver.start()
+        stats = region.run(costs, bodies=bodies, timeout=timeout)
+        outputs = list(region.outputs)
+    finally:
+        if driver is not None:
+            driver.stop()
+        region.close()
+    return stats, outputs
+
+
+def expect_ordered(outputs, n, make_body=None):
+    """Assert gap-free, duplicate-free, ordered output of ``n`` tuples."""
+    assert [seq for seq, _ in outputs] == list(range(n))
+    if make_body is not None:
+        assert [body for _, body in outputs] == [make_body(i) for i in range(n)]
+
+
+class TestHappyPath:
+    def test_ordered_gap_free_output(self):
+        region = ProcessRegion(3, supervisor_config=FAST, window=16)
+        n = 120
+        stats, outputs = run_region(
+            region,
+            [0.0005] * n,
+            bodies=[b"t%d" % i for i in range(n)],
+        )
+        expect_ordered(outputs, n, lambda i: b"t%d" % i)
+        assert stats.results == n
+        assert stats.restarts == 0
+        assert stats.quarantined == []
+        assert stats.duplicates_dropped == 0
+        assert sum(stats.per_worker_results) == n
+
+    def test_weighted_split_respects_multipliers(self):
+        # Worker 0 is 8x slower; with 1/multiplier weights it should get
+        # far fewer tuples than the two fast workers.
+        region = ProcessRegion(
+            3, multipliers=[8.0, 1.0, 1.0], supervisor_config=FAST, window=8
+        )
+        n = 150
+        stats, outputs = run_region(region, [0.001] * n)
+        expect_ordered(outputs, n)
+        per_worker = stats.per_worker_results
+        assert per_worker[0] < per_worker[1]
+        assert per_worker[0] < per_worker[2]
+
+    def test_close_is_idempotent(self):
+        region = ProcessRegion(2, supervisor_config=FAST)
+        region.start()
+        region.run([0.0] * 10, timeout=20.0)
+        first = region.close()
+        assert region.close() == first
+
+
+class TestKillRecovery:
+    """The ISSUE's acceptance scenario: SIGKILL mid-batch, full recovery."""
+
+    def test_deterministic_sigkill_mid_batch(self):
+        n = 400
+        region = ProcessRegion(4, supervisor_config=FAST, window=16)
+        hub = ObservabilityHub(region.clock, ObservabilityConfig())
+        region.attach_observability(hub)
+        # Deterministic trigger: worker 1 dies the instant the merger has
+        # emitted tuple #50, regardless of host speed.
+        schedule = FaultSchedule.crash_after_emitted(1, 50)
+        driver = RealFaultDriver(region, poll_interval=0.002)
+        schedule.arm_real(driver)
+        try:
+            region.start()
+            driver.start()
+            # Submit + drain by hand (run() would close the region): the
+            # region must stay open so the replacement incarnation can
+            # rejoin even if the batch drains first.
+            for i in range(n):
+                region.submit(0.001, b"payload-%d" % i)
+            region.drain(timeout=60.0)
+            # Wait for the rejoin: it closes the episode (ttr) and emits
+            # the "restart" span.
+            deadline = time.monotonic() + 20.0
+            while (
+                region.supervisor.first_time_to_reconverge() is None
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            stats = region.stats()
+            outputs = list(region.outputs)
+        finally:
+            driver.stop()
+            region.close()
+        expect_ordered(outputs, n, lambda i: b"payload-%d" % i)
+        assert stats.results == n
+        assert stats.restarts >= 1
+        assert stats.episodes >= 1
+        # In-flight tuples on the dead incarnation were replayed from the
+        # retransmit buffer, not lost.
+        assert stats.replayed >= 1
+        # Fault-to-detection (ttq) is recorded and small.
+        assert stats.time_to_quarantine is not None
+        assert stats.time_to_quarantine < 5.0
+        # Fault-to-rejoin (ttr) is recorded once the replacement serves.
+        assert stats.time_to_reconverge is not None
+        hub.finalize(region.clock())
+        report = hub.report()
+        kinds = {span["kind"] for span in report.spans}
+        assert {"detection", "quarantine", "restart"} <= kinds
+        restart_spans = report.spans_of_kind("restart")
+        assert restart_spans and all(
+            s["end"] >= s["start"] for s in restart_spans
+        )
+
+    def test_restarted_worker_rejoins_and_serves(self):
+        # A longer run so the restarted incarnation has time to reconnect
+        # and take traffic again (ttr is only defined if it rejoins).
+        n = 600
+        region = ProcessRegion(3, supervisor_config=FAST, window=16)
+        schedule = FaultSchedule.crash_after_emitted(2, 40)
+        stats, outputs = run_region(
+            region, [0.002] * n, timeout=90.0, schedule=schedule
+        )
+        expect_ordered(outputs, n)
+        assert stats.restarts >= 1
+        assert stats.time_to_reconverge is not None
+        # The restarted worker produced results after rejoining.
+        assert stats.per_worker_results[2] > 0
+
+
+class TestStallDetection:
+    def test_sigstop_is_detected_via_missed_heartbeats(self):
+        n = 300
+        region = ProcessRegion(3, supervisor_config=FAST, window=16)
+        region.start()
+        try:
+            # Freeze worker 0 once it is serving (STARTING slots enjoy a
+            # long spawn grace; the heartbeat timeout only guards UP
+            # slots). The socket stays open, so only heartbeat staleness
+            # can catch the freeze.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if region.slots[0].state == UP and region.supervisor.kill(
+                    0, signal.SIGSTOP
+                ):
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("worker 0 never came up")
+            stats = region.run([0.001] * n, timeout=60.0)
+            outputs = list(region.outputs)
+        finally:
+            region.close()
+        expect_ordered(outputs, n)
+        assert stats.results == n
+        # The stopped incarnation was declared dead without the socket
+        # ever closing, and replaced.
+        assert stats.episodes >= 1
+        assert stats.restarts >= 1
+
+
+class TestCircuitBreaker:
+    def test_crash_loop_quarantines_but_run_completes(self):
+        # Worker 1 is configured (via extra_args) to exit nonzero after
+        # every single tuple, forever. The budget of 2 restarts in the
+        # window trips the breaker; the survivors absorb its share. The
+        # run is long enough (wall-clock) for three crash cycles, each
+        # dominated by interpreter startup of the replacement process.
+        config = SupervisorConfig(
+            heartbeat_interval=0.02,
+            heartbeat_timeout=0.25,
+            monitor_interval=0.01,
+            backoff_start=0.01,
+            backoff_max=0.02,
+            restart_budget=2,
+            restart_window=30.0,
+        )
+        region = ProcessRegion(3, supervisor_config=config, window=8)
+        region.slots[1].extra_args = ["--exit-after", "1", "--exit-code", "3"]
+        n = 400
+        stats, outputs = run_region(region, [0.008] * n, timeout=120.0)
+        expect_ordered(outputs, n)
+        assert stats.results == n
+        assert 1 in stats.quarantined
+        assert region.slots[1].state == QUARANTINED
+        # Budget spent before the breaker tripped.
+        assert region.slots[1].restarts == 2
+
+
+class TestChaos:
+    """The CI ``process-chaos`` job's case: kills in a loop, still exact."""
+
+    def test_repeated_sigkills_preserve_exactly_once(self):
+        n = 500
+        region = ProcessRegion(4, supervisor_config=FAST, window=16)
+        region.start()
+        stop = False
+        try:
+            import threading
+
+            def chaos():
+                rounds = 0
+                victim = 0
+                while not stop and rounds < 3:
+                    time.sleep(0.4)
+                    if region.supervisor.kill(victim, signal.SIGKILL):
+                        region.supervisor.note_fault(victim)
+                        rounds += 1
+                    victim = (victim + 1) % 4
+
+            monkey = threading.Thread(target=chaos, daemon=True)
+            monkey.start()
+            stats = region.run([0.002] * n, timeout=120.0)
+            stop = True
+            monkey.join(timeout=5.0)
+            outputs = list(region.outputs)
+        finally:
+            stop = True
+            region.close()
+        expect_ordered(outputs, n)
+        assert stats.results == n
+        # Exactly-once held: any retransmit race resolved via dedup.
+        assert stats.results + stats.duplicates_dropped >= n
+
+
+class TestPromptShutdown:
+    def test_close_races_pending_restart_without_stalling(self):
+        # Kill a worker, then close while its replacement is still
+        # STARTING (spawned, pre-HELLO). The replacement never received
+        # EOS and cannot drain, so shutdown must not spend the full
+        # drain_timeout waiting for it — only UP slots are waited on.
+        region = ProcessRegion(2, supervisor_config=FAST, window=8)
+        region.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if all(s.state == UP for s in region.slots):
+                    break
+                time.sleep(0.01)
+            assert all(s.state == UP for s in region.slots)
+            assert region.supervisor.kill(1, signal.SIGKILL)
+            # Catch the replacement in STARTING: detection + backoff
+            # take ~0.03s with FAST, interpreter boot ~0.3s more.
+            deadline = time.monotonic() + 5.0
+            seen_starting = False
+            while time.monotonic() < deadline:
+                slot = region.slots[1]
+                if slot.incarnation >= 1 and slot.state == STARTING:
+                    seen_starting = True
+                    break
+                time.sleep(0.001)
+            assert seen_starting, "replacement never entered STARTING"
+            t0 = time.monotonic()
+        finally:
+            region.close()
+        close_seconds = time.monotonic() - t0
+        assert close_seconds < 3.0, (
+            f"close stalled {close_seconds:.2f}s on an undrainable "
+            f"STARTING replacement (drain_timeout is "
+            f"{FAST.drain_timeout:g}s)"
+        )
+
+
+class TestGracefulDegradation:
+    def test_sigterm_drains_in_flight_tuples(self):
+        # SIGTERM a worker directly (not via the supervisor's shutdown):
+        # it must finish what it already read, send BYE, and exit 0 —
+        # which the monitor then treats as a death and replaces.
+        region = ProcessRegion(2, supervisor_config=FAST, window=8)
+        region.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            pid = None
+            while time.monotonic() < deadline:
+                slot = region.slots[0]
+                if slot.state == UP and slot.pid:
+                    pid = slot.pid
+                    break
+                time.sleep(0.01)
+            assert pid is not None
+            os.kill(pid, signal.SIGTERM)
+            n = 150
+            stats = region.run([0.001] * n, timeout=60.0)
+            outputs = list(region.outputs)
+        finally:
+            region.close()
+        expect_ordered(outputs, n)
+        assert stats.results == n

@@ -1,0 +1,181 @@
+"""In-process tests of the worker loop against a stub parent socket.
+
+``WorkerMain.run()`` installs a SIGTERM handler, which is only legal on
+the main thread — so the worker runs on the test's main thread and the
+parent side (accept, send DATA/CONTROL/EOS, collect RESULT/BYE) runs on
+a helper thread.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.net import framing
+from repro.proc.worker import WorkerMain, build_parser
+
+pytestmark = pytest.mark.sockets
+
+
+class ParentStub:
+    """Accepts one worker connection, plays a script, records replies."""
+
+    def __init__(self):
+        self.server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.server.bind(("127.0.0.1", 0))
+        self.server.listen(1)
+        self.port = self.server.getsockname()[1]
+        self.messages = []
+        self.thread = None
+
+    def start(self, script):
+        def serve():
+            conn, _ = self.server.accept()
+            conn.settimeout(5.0)
+            try:
+                script(conn)
+                assembler = framing.MessageAssembler()
+                while True:
+                    try:
+                        chunk = conn.recv(65536)
+                    except OSError:
+                        return
+                    if not chunk:
+                        return
+                    for message in assembler.feed(chunk):
+                        self.messages.append(message)
+                        if message.type == framing.MSG_BYE:
+                            return
+            finally:
+                conn.close()
+
+        self.thread = threading.Thread(target=serve, daemon=True)
+        self.thread.start()
+
+    def finish(self):
+        self.thread.join(timeout=5.0)
+        assert not self.thread.is_alive(), "parent stub never finished"
+        self.server.close()
+
+    def of_type(self, msg_type):
+        return [m for m in self.messages if m.type == msg_type]
+
+
+def make_worker(port, **kwargs):
+    kwargs.setdefault("heartbeat_interval", 0.05)
+    return WorkerMain("127.0.0.1", port, 3, 2, **kwargs)
+
+
+class TestWorkerLoop:
+    def test_hello_data_results_then_bye(self):
+        parent = ParentStub()
+
+        def script(conn):
+            conn.sendall(framing.encode_data(10, 0.0, b"alpha"))
+            conn.sendall(framing.encode_data(11, 0.0, b"beta"))
+            conn.sendall(framing.encode_eos())
+
+        parent.start(script)
+        worker = make_worker(parent.port)
+        assert worker.run() == 0
+        parent.finish()
+
+        hello = parent.of_type(framing.MSG_HELLO)
+        assert [m.hello() for m in hello] == [(3, 2)]
+        results = parent.of_type(framing.MSG_RESULT)
+        assert [(m.result()[0], m.result()[2]) for m in results] == [
+            (10, b"alpha"),
+            (11, b"beta"),
+        ]
+        bye = parent.of_type(framing.MSG_BYE)
+        assert [m.bye() for m in bye] == [2]
+
+    def test_control_frame_updates_multiplier(self):
+        parent = ParentStub()
+
+        def script(conn):
+            conn.sendall(framing.encode_control(2.5))
+            conn.sendall(framing.encode_eos())
+
+        parent.start(script)
+        worker = make_worker(parent.port)
+        assert worker.run() == 0
+        parent.finish()
+        assert worker.control_multiplier == 2.5
+
+    def test_exit_after_dies_with_exit_code_mid_stream(self):
+        parent = ParentStub()
+
+        def script(conn):
+            for seq in range(5):
+                conn.sendall(framing.encode_data(seq, 0.0, b""))
+            # No EOS: the worker must die on its own after 2 tuples.
+
+        parent.start(script)
+        worker = make_worker(parent.port, exit_after=2, exit_code=17)
+        assert worker.run() == 17
+        parent.finish()
+        assert worker.processed == 2
+        assert len(parent.of_type(framing.MSG_RESULT)) == 2
+        assert parent.of_type(framing.MSG_BYE) == []
+
+    def test_parent_eof_exits_quietly(self):
+        parent = ParentStub()
+
+        def script(conn):
+            # Read the HELLO then hang up without EOS: the region died.
+            assembler = framing.MessageAssembler()
+            while not assembler.feed(conn.recv(65536)):
+                pass
+            conn.shutdown(socket.SHUT_RDWR)
+
+        parent.start(script)
+        worker = make_worker(parent.port)
+        assert worker.run() == 0
+        parent.finish()
+
+    def test_heartbeats_carry_incarnation_and_progress(self):
+        parent = ParentStub()
+        release = threading.Event()
+
+        def script(conn):
+            conn.sendall(framing.encode_data(0, 0.0, b""))
+            release.wait(timeout=5.0)
+            conn.sendall(framing.encode_eos())
+
+        parent.start(script)
+        worker = make_worker(parent.port, heartbeat_interval=0.02)
+        # Let the worker idle long enough to emit several heartbeats.
+        timer = threading.Timer(0.2, release.set)
+        timer.start()
+        assert worker.run() == 0
+        parent.finish()
+        beats = [m.heartbeat() for m in parent.of_type(framing.MSG_HEARTBEAT)]
+        assert len(beats) >= 3
+        assert all(incarnation == 2 for _, incarnation in beats)
+        # Later heartbeats reflect the tuple processed early on.
+        assert beats[-1][0] == 1
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            WorkerMain("127.0.0.1", 1, 0, 0, mode="warp")
+
+
+class TestArgumentParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["--port", "1234", "--worker-id", "0"]
+        )
+        assert args.host == "127.0.0.1"
+        assert args.incarnation == 0
+        assert args.multiplier == 1.0
+        assert args.mode == "sleep"
+        assert args.exit_after is None
+
+    def test_exit_after_knob(self):
+        args = build_parser().parse_args(
+            ["--port", "1", "--worker-id", "2", "--exit-after", "5",
+             "--exit-code", "9"]
+        )
+        assert args.exit_after == 5
+        assert args.exit_code == 9
