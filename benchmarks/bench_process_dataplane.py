@@ -19,8 +19,18 @@ Two legs, both on the real multi-process backend (``repro.proc``):
   buffer, and the wall-clock overhead vs the fault-free run of the same
   budget. These are the numbers EXPERIMENTS.md cites.
 
-Writes a ``process_dataplane`` section into ``BENCH_core.json``.
-Regenerate standalone with::
+The scaling leg runs twice — once on the per-tuple wire
+(``batch_size=1``) and once batched (``batch_size=BATCH_SIZE``) — and
+every scaling point records ``framework_overhead_seconds``: wall time
+minus the ideal service time (``service / min(workers, cores)``), i.e.
+everything the splitter, sockets, framing, and merger cost on top of
+the work itself. The tripwire (enforced even in smoke mode) is that
+batching must not invert scaling: the batched run at the widest worker
+count may not carry more framework overhead than the unbatched
+single-worker run.
+
+Merges a ``process_dataplane`` section into ``BENCH_core.json``
+(existing keys in the section survive). Regenerate standalone with::
 
     PYTHONPATH=src python benchmarks/bench_process_dataplane.py
 """
@@ -41,6 +51,8 @@ from repro.proc.supervisor import SupervisorConfig
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_core.json"
 
 WORKER_COUNTS = (1, 2, 4)
+#: Tuples per DATA_BATCH frame in the batched sweep.
+BATCH_SIZE = 16
 #: Total service work is held constant across the sweep, so ideal wall
 #: time is ``SPIN_BUDGET_SECONDS / min(workers, cores)``.
 SPIN_BUDGET_SECONDS = smoke_scale(2.0, 0.3)
@@ -58,22 +70,47 @@ SUPERVISION = SupervisorConfig(
 )
 
 
-def run_scaling(n_workers: int) -> dict:
+def run_scaling(n_workers: int, batch_size: int = 1) -> dict:
     total = max(n_workers, int(SPIN_BUDGET_SECONDS / TUPLE_COST))
     region = ProcessRegion(
-        n_workers, supervisor_config=SUPERVISION, window=16
+        n_workers,
+        supervisor_config=SUPERVISION,
+        window=max(16, 4 * batch_size),
+        batch_size=batch_size,
     )
+    # Warm-up (interpreter spawn + connect) is a one-time cost reported
+    # on its own; the timed window measures the steady-state dataplane —
+    # the thing the wire protocol can actually change.
+    spawn_t0 = time.perf_counter()
+    region.start().wait_ready(timeout=60.0)
+    spawn = time.perf_counter() - spawn_t0
     t0 = time.perf_counter()
-    stats = region.run([TUPLE_COST] * total, timeout=300.0)
-    wall = time.perf_counter() - t0
+    try:
+        for _ in range(total):
+            region.submit(TUPLE_COST)
+        region.drain(timeout=300.0)
+        wall = time.perf_counter() - t0
+        stats = region.stats()
+    finally:
+        region.close()
     assert stats.results == total
     assert stats.restarts == 0, "scaling leg must be fault-free"
+    cores = os.cpu_count() or 1
+    service = total * TUPLE_COST
+    ideal = service / min(n_workers, cores)
     return {
         "workers": n_workers,
+        "batch_size": batch_size,
         "tuples": total,
-        "service_seconds": round(total * TUPLE_COST, 3),
+        "service_seconds": round(service, 3),
+        "spawn_seconds": round(spawn, 3),
         "wall_seconds": round(wall, 3),
+        "framework_overhead_seconds": round(wall - ideal, 3),
         "tuples_per_sec": round(total / wall, 1),
+        "wire_frames_sent": stats.wire_frames_sent,
+        "wire_frames_received": stats.wire_frames_received,
+        "data_flushes": stats.data_flushes,
+        "mean_batch_occupancy": round(stats.mean_batch_occupancy, 2),
     }
 
 
@@ -128,34 +165,48 @@ def run_recovery() -> dict:
 
 
 def collect_report() -> dict:
-    rows = [run_scaling(n) for n in WORKER_COUNTS]
-    base = rows[0]["wall_seconds"]
-    for row in rows:
-        row["speedup_vs_1"] = round(base / row["wall_seconds"], 2)
+    sweeps = {}
+    for key, batch in (("scaling", 1), ("scaling_batched", BATCH_SIZE)):
+        rows = [run_scaling(n, batch) for n in WORKER_COUNTS]
+        base = rows[0]["wall_seconds"]
+        for row in rows:
+            row["speedup_vs_1"] = round(base / row["wall_seconds"], 2)
+        sweeps[key] = rows
     return {
         "workload": {
             "tuple_cost_seconds": TUPLE_COST,
             "service_budget_seconds": SPIN_BUDGET_SECONDS,
             "cores": os.cpu_count(),
             "mode": "spin",
+            "batch_size_batched": BATCH_SIZE,
         },
-        "scaling": rows,
+        **sweeps,
         "recovery": run_recovery(),
     }
 
 
 def render(payload: dict) -> str:
-    lines = [
-        f"cores available: {payload['workload']['cores']}",
-        f"{'workers':>7}  {'tuples':>7}  {'wall s':>7}  {'tuples/s':>9}"
-        f"  {'speedup':>7}",
-    ]
-    for row in payload["scaling"]:
-        lines.append(
-            f"{row['workers']:>7}  {row['tuples']:>7}"
-            f"  {row['wall_seconds']:>7.3f}  {row['tuples_per_sec']:>9,.0f}"
-            f"  {row['speedup_vs_1']:>6.2f}x"
-        )
+    lines = [f"cores available: {payload['workload']['cores']}"]
+    for key, label in (
+        ("scaling", "per-tuple wire (batch_size=1)"),
+        ("scaling_batched",
+         f"batched wire (batch_size={payload['workload']['batch_size_batched']})"),
+    ):
+        lines += [
+            "",
+            f"{label}:",
+            f"{'workers':>7}  {'tuples':>7}  {'wall s':>7}  {'ovh s':>7}"
+            f"  {'tuples/s':>9}  {'frames':>7}  {'speedup':>7}",
+        ]
+        for row in payload[key]:
+            lines.append(
+                f"{row['workers']:>7}  {row['tuples']:>7}"
+                f"  {row['wall_seconds']:>7.3f}"
+                f"  {row['framework_overhead_seconds']:>7.3f}"
+                f"  {row['tuples_per_sec']:>9,.0f}"
+                f"  {row['wire_frames_sent']:>7}"
+                f"  {row['speedup_vs_1']:>6.2f}x"
+            )
     r = payload["recovery"]
     lines += [
         "",
@@ -175,7 +226,10 @@ def write_report(payload: dict) -> None:
     existing = {}
     if BENCH_JSON.exists():
         existing = json.loads(BENCH_JSON.read_text())
-    existing["process_dataplane"] = payload
+    # Merge, don't clobber: keys another run put in this section (or a
+    # sweep this invocation didn't regenerate) survive the update.
+    section = existing.setdefault("process_dataplane", {})
+    section.update(payload)
     BENCH_JSON.write_text(json.dumps(existing, indent=1) + "\n")
 
 
@@ -187,6 +241,20 @@ def check_shape(payload: dict) -> None:
         raise RuntimeError(
             "the SIGKILL leg replayed nothing: the kill either missed "
             "in-flight tuples or the retransmit path is broken"
+        )
+    # The batching tripwire runs even in smoke mode: the batched wire at
+    # the widest worker count must not cost more framework overhead than
+    # the per-tuple wire runs with a single worker — the exact inversion
+    # (4 workers slower than 1) that motivated batching.
+    widest = max(WORKER_COUNTS)
+    batched = {row["workers"]: row for row in payload["scaling_batched"]}
+    batched_ovh = batched[widest]["framework_overhead_seconds"]
+    unbatched_ovh = rows[min(WORKER_COUNTS)]["framework_overhead_seconds"]
+    if batched_ovh > unbatched_ovh:
+        raise RuntimeError(
+            f"batched {widest}-worker framework overhead {batched_ovh}s "
+            f"exceeds unbatched 1-worker overhead {unbatched_ovh}s: "
+            "the batched wire is not amortizing per-tuple costs"
         )
     cores = payload["workload"]["cores"] or 1
     if SMOKE or cores < 2:

@@ -230,15 +230,20 @@ def _run_process_demo(args) -> int:
         crash_at_emitted=(
             max(1, args.tuples // 8) if kill is not None else None
         ),
+        batch_size=args.batch_size,
     )
     config = _apply_obs(config, args)
+    wire = (
+        f"batched wire (B={args.batch_size})"
+        if args.batch_size > 1 else "per-tuple wire"
+    )
     if kill is None:
         print(f"process backend: {args.workers} worker processes, "
-              f"{args.tuples} tuples")
+              f"{args.tuples} tuples, {wire}")
     else:
         print(f"process backend: {args.workers} worker processes, "
-              f"{args.tuples} tuples; SIGKILL worker {kill} an eighth "
-              f"of the way through")
+              f"{args.tuples} tuples, {wire}; SIGKILL worker {kill} an "
+              f"eighth of the way through")
     result = run_experiment(config, "rr")
     print(result.summary())
     if result.obs is not None:
@@ -294,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--kill", type=int, default=1, metavar="J",
         help="SIGKILL worker J an eighth of the way through "
         "(process backend; -1 disables; default 1)",
+    )
+    demo.add_argument(
+        "--batch-size", type=int, default=1, metavar="B",
+        help="tuples per DATA_BATCH wire frame (process backend; "
+        "1 = per-tuple frames; default 1)",
     )
     _add_obs_flags(demo)
     demo.set_defaults(func=_cmd_demo)

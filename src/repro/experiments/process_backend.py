@@ -125,6 +125,7 @@ def run_process_experiment(
         n,
         multipliers=multipliers,
         window=window,
+        batch_size=config.region.batch_size,
         supervisor_config=supervisor_config,
         balancer=balancer,
         balancer_interval=config.sample_interval,
@@ -224,6 +225,7 @@ def process_scenario(
     crash_worker: int | None = 1,
     crash_at_emitted: int | None = None,
     crash_at: float = 0.3,
+    batch_size: int = 1,
 ) -> ExperimentConfig:
     """The canonical process-backend scenario: real workers, one kill.
 
@@ -232,7 +234,8 @@ def process_scenario(
     progress instead, and ``crash_worker=None`` for a fault-free run.
     The tuple cost is given directly in seconds of service time (the
     host spec is derived so that ``tuple_cost / thread_speed`` lands on
-    it exactly).
+    it exactly). ``batch_size`` selects the batched wire protocol
+    (``DATA_BATCH``/``RESULT_BATCH`` runs); 1 keeps the per-tuple wire.
     """
     schedule = FaultSchedule.none()
     if crash_worker is not None:
@@ -251,6 +254,6 @@ def process_scenario(
         worker_host=[0] * n_workers,
         total_tuples=total_tuples,
         splitter_cost_multiplies=None,
-        region=RegionParams(backend="process"),
+        region=RegionParams(backend="process", batch_size=batch_size),
         fault_schedule=schedule,
     )

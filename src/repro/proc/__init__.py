@@ -26,15 +26,34 @@ Entry points:
   via :func:`repro.experiments.process_backend.run_process_experiment`.
 """
 
-from repro.proc.region import ProcessRegion, ProcessRunStats
-from repro.proc.supervisor import Supervisor, SupervisorConfig, WorkerSlot
-from repro.proc.faults import RealFaultDriver
+import importlib
 
-__all__ = [
-    "ProcessRegion",
-    "ProcessRunStats",
-    "RealFaultDriver",
-    "Supervisor",
-    "SupervisorConfig",
-    "WorkerSlot",
-]
+#: Public name -> defining module, resolved lazily (PEP 562): the worker
+#: executable imports this package on startup and must not pay for the
+#: parent-side region/supervisor machinery it never uses.
+_EXPORTS = {
+    "ProcessRegion": "repro.proc.region",
+    "ProcessRunStats": "repro.proc.region",
+    "RealFaultDriver": "repro.proc.faults",
+    "Supervisor": "repro.proc.supervisor",
+    "SupervisorConfig": "repro.proc.supervisor",
+    "WorkerSlot": "repro.proc.supervisor",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_EXPORTS))

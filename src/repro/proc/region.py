@@ -10,23 +10,34 @@ Topology::
 Correctness invariants, in the order they matter:
 
 1. *Bounded retransmit buffers.* Every tuple is registered in its
-   worker's ``unacked`` map **before** the bytes hit the socket, and
-   removed only when its RESULT arrives. A worker's window is capped at
-   ``window`` in-flight tuples; the splitter blocks (and charges the
-   paper's per-connection blocking counter) when its weighted choice is
-   full — the same backpressure signal the balancer consumes in the
-   simulator.
+   worker's ``unacked`` map **before** the bytes hit the socket (for
+   ``batch_size > 1``, before it even enters the slot's send outbox),
+   and removed only when its RESULT arrives. A worker's window is
+   capped at ``window`` in-flight tuples — buffered-but-unflushed
+   tuples count — and the splitter blocks (and charges the paper's
+   per-connection blocking counter) when its weighted choice is full:
+   the same backpressure signal the balancer consumes in the simulator.
 
 2. *Exactly-once output across kills.* A global ``seq -> owner`` map
    dedupes: the first RESULT for a sequence wins, later ones (a replay
    racing the original worker's last breath) are dropped. On a death the
    dead slot's unacked tuples are replayed to survivors — or parked
    until a restart lands — so the merger always converges to the full
-   gap-free sequence.
+   gap-free sequence. The dead slot's outbox is discarded wholesale:
+   everything in it is in ``unacked`` and re-batches through replay.
 
 3. *No blocking sends under the region lock.* Death handling collects
    replay entries under the lock but performs the sends outside it;
-   a send that fails simply funnels into the same death path.
+   a send that fails simply funnels into the same death path. Batch
+   flushes pop a whole outbox under the region lock and ship it with
+   one send-lock acquisition and one ``sendall`` outside it.
+
+With ``batch_size=B > 1`` the splitter accumulates each worker's run in
+its slot outbox and flushes a single columnar ``DATA_BATCH`` frame when
+the run reaches ``B`` tuples — or earlier, whenever the splitter is
+about to block, drain, close, or finish a failover, so no tuple is ever
+stranded in a buffer the worker cannot see. ``batch_size=1`` keeps the
+original one-``DATA``-frame-per-tuple wire behavior byte for byte.
 
 The ordered merger is a tiny reorder buffer keyed on the global
 sequence number; output order is submission order regardless of which
@@ -84,6 +95,16 @@ class ProcessRunStats:
     blocked_seconds: list[float]
     #: ``(slot, signal)`` escalations needed at shutdown.
     escalated: list = field(default_factory=list)
+    #: Wire frames written to worker sockets (all types).
+    wire_frames_sent: int = 0
+    #: Wire bytes written to worker sockets.
+    wire_bytes_sent: int = 0
+    #: Wire frames read from worker sockets (results, acks, beats).
+    wire_frames_received: int = 0
+    #: DATA/DATA_BATCH flushes performed (each is one ``sendall``).
+    data_flushes: int = 0
+    #: Mean tuples per data flush (1.0 exactly when ``batch_size=1``).
+    mean_batch_occupancy: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -100,6 +121,11 @@ class ProcessRunStats:
             "per_worker_results": list(self.per_worker_results),
             "blocked_seconds": list(self.blocked_seconds),
             "escalated": [list(e) for e in self.escalated],
+            "wire_frames_sent": self.wire_frames_sent,
+            "wire_bytes_sent": self.wire_bytes_sent,
+            "wire_frames_received": self.wire_frames_received,
+            "data_flushes": self.data_flushes,
+            "mean_batch_occupancy": self.mean_batch_occupancy,
         }
 
 
@@ -139,6 +165,7 @@ class ProcessRegion:
         *,
         multipliers: Sequence[float] | None = None,
         window: int = 64,
+        batch_size: int = 1,
         supervisor_config: SupervisorConfig | None = None,
         balancer=None,
         balancer_interval: float = 1.0,
@@ -149,6 +176,7 @@ class ProcessRegion:
     ) -> None:
         check_positive("n_workers", n_workers)
         check_positive("window", window)
+        check_positive("batch_size", batch_size)
         check_positive("balancer_interval", balancer_interval)
         check_positive("send_stall_timeout", send_stall_timeout)
         if multipliers is None:
@@ -159,6 +187,7 @@ class ProcessRegion:
             )
         self.n_workers = n_workers
         self.window = window
+        self.batch_size = batch_size
         self.balancer = balancer
         self.balancer_interval = balancer_interval
         self.send_stall_timeout = send_stall_timeout
@@ -195,6 +224,14 @@ class ProcessRegion:
         self._last_balance = 0.0
         self._socks: list[socket.socket | None] = [None] * n_workers
         self._send_locks = [threading.Lock() for _ in range(n_workers)]
+        # Wire accounting, one cell per worker so each is only ever
+        # touched under that worker's send lock (out) or by its single
+        # receiver thread (in) — no shared hot counter.
+        self._wire_frames_out = [0] * n_workers
+        self._wire_bytes_out = [0] * n_workers
+        self._wire_frames_in = [0] * n_workers
+        self._data_flushes = [0] * n_workers
+        self._data_tuples_flushed = [0] * n_workers
         self._recv_threads: list[threading.Thread] = []
         self._owner: dict[int, int] = {}
         self._parked: list[tuple[int, float, bytes]] = []
@@ -212,6 +249,7 @@ class ProcessRegion:
         self._escalated: list[tuple[int, str]] = []
         self._obs = None
         self._blocking_hist = None
+        self._occupancy_hist = None
         # Bind before the supervisor exists so spawns know the port.
         self._listener_sock = socket.socket(
             socket.AF_INET, socket.SOCK_STREAM
@@ -253,6 +291,46 @@ class ProcessRegion:
         self.supervisor.start()
         return self
 
+    def wait_ready(self, timeout: float | None = None) -> "ProcessRegion":
+        """Block until every live worker slot is connected and serving.
+
+        Separates one-time warm-up (interpreter spawn, connect, HELLO)
+        from steady-state operation: benchmarks start their clock after
+        this returns, and callers that want the first ``submit`` to go
+        straight onto a socket (instead of parking behind a spawning
+        worker) call it too. Quarantined slots don't count — a region
+        that lost slots permanently is still "ready" on the survivors.
+        Raises ``TimeoutError`` if the deadline passes first.
+        """
+        if not self._started:
+            raise RuntimeError("region not started")
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._cv:
+            while True:
+                if self._fatal is not None:
+                    raise self._fatal
+                live = [
+                    s for s in self.slots if s.state != QUARANTINED
+                ]
+                if live and all(
+                    s.state == UP
+                    and self._socks[s.index] is not None
+                    for s in live
+                ):
+                    return self
+                wait = 0.05
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            "workers did not all connect within "
+                            f"{timeout}s"
+                        )
+                    wait = min(wait, remaining)
+                self._cv.wait(wait)
+
     def submit(self, cost_seconds: float, body: bytes = b"") -> int:
         """Route one tuple; blocks on backpressure; returns its seq."""
         if not self._started:
@@ -266,10 +344,17 @@ class ProcessRegion:
         return seq
 
     def drain(self, timeout: float | None = None) -> None:
-        """Block until every submitted tuple's result has been merged."""
+        """Block until every submitted tuple's result has been merged.
+
+        Flushes every partial send buffer on entry (and on each wake, so
+        replays re-batched mid-drain cannot strand a short run): a
+        trailing batch below ``batch_size`` must still reach its worker.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
-        with self._cv:
-            while True:
+        while True:
+            # Outside the region lock: flushing performs socket sends.
+            self._flush_outboxes()
+            with self._cv:
                 if self._fatal is not None:
                     raise self._fatal
                 if self._results >= self._next_seq:
@@ -297,6 +382,9 @@ class ProcessRegion:
                 return list(self._escalated)
             self._closing = True
             self._cv.notify_all()
+        # Ship any buffered partial batches before EOS so the drain
+        # request never overtakes data on the same stream.
+        self._flush_outboxes()
         for slot in self.slots:
             if slot.state == UP:
                 self._send_frame(slot.index, framing.encode_eos())
@@ -341,6 +429,8 @@ class ProcessRegion:
 
     def stats(self) -> ProcessRunStats:
         with self._lock:
+            flushes = sum(self._data_flushes)
+            flushed = sum(self._data_tuples_flushed)
             return ProcessRunStats(
                 tuples=self._next_seq,
                 results=self._results,
@@ -361,6 +451,13 @@ class ProcessRegion:
                     c.lifetime_seconds for c in self.block_counters
                 ],
                 escalated=list(self._escalated),
+                wire_frames_sent=sum(self._wire_frames_out),
+                wire_bytes_sent=sum(self._wire_bytes_out),
+                wire_frames_received=sum(self._wire_frames_in),
+                data_flushes=flushes,
+                mean_batch_occupancy=(
+                    flushed / flushes if flushes else 0.0
+                ),
             )
 
     # --------------------------------------------------------------- control
@@ -414,16 +511,48 @@ class ProcessRegion:
             "process_region_block_seconds",
             help="Splitter blocking episode durations",
         )
+        registry.gauge_fn(
+            "process_region_wire_frames_sent_total",
+            lambda: sum(self._wire_frames_out),
+            help="Wire frames written to worker sockets",
+        )
+        registry.gauge_fn(
+            "process_region_wire_bytes_sent_total",
+            lambda: sum(self._wire_bytes_out),
+            help="Wire bytes written to worker sockets",
+        )
+        registry.gauge_fn(
+            "process_region_wire_frames_received_total",
+            lambda: sum(self._wire_frames_in),
+            help="Wire frames read from worker sockets",
+        )
+        registry.gauge_fn(
+            "process_region_data_flushes_total",
+            lambda: sum(self._data_flushes),
+            help="DATA/DATA_BATCH flushes (one sendall each)",
+        )
+        self._occupancy_hist = registry.histogram(
+            "process_region_batch_occupancy",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+            help="Tuples carried per flushed data frame",
+        )
 
     # ---------------------------------------------- supervisor callbacks
 
     def on_slot_down(self, slot: WorkerSlot, reason: str) -> None:
-        """Fail over: detach the socket, replay the dead slot's window."""
+        """Fail over: detach the socket, replay the dead slot's window.
+
+        The slot's outbox is discarded outright — every buffered tuple
+        is registered in ``unacked``, so the replay loop below re-routes
+        (and re-batches) it; keeping the stale outbox would double-send
+        on the slot's next incarnation.
+        """
         with self._cv:
             sock = self._socks[slot.index]
             self._socks[slot.index] = None
             entries = sorted(slot.unacked.items())
             slot.unacked.clear()
+            slot.outbox = []
             for seq, _ in entries:
                 self._owner.pop(seq, None)
             self._replayed += len(entries)
@@ -437,6 +566,9 @@ class ProcessRegion:
             return
         for seq, (cost, body) in entries:
             self._route_and_send(seq, cost, body, replay=True)
+        # Replays re-batch through the survivors' outboxes; a trailing
+        # partial run must not wait for unrelated future traffic.
+        self._flush_outboxes()
 
     def on_slot_up(self, slot: WorkerSlot) -> None:
         """A (re)connected worker is serving: flush parked tuples."""
@@ -445,6 +577,7 @@ class ProcessRegion:
             self._cv.notify_all()
         for seq, cost, body in sorted(parked):
             self._route_and_send(seq, cost, body, replay=True)
+        self._flush_outboxes()
 
     def on_slot_quarantined(self, slot: WorkerSlot) -> None:
         """The circuit breaker removed a slot: re-solve the weights."""
@@ -510,7 +643,22 @@ class ProcessRegion:
     def _route_and_send(
         self, seq: int, cost: float, body: bytes, *, replay: bool
     ) -> None:
-        """Pick a worker and ship one tuple, blocking on backpressure.
+        """Route one tuple into its worker's run; flush when it is due."""
+        flush = self._route_one(seq, cost, body, replay=replay)
+        if flush is not None:
+            self._dispatch_entries(*flush)
+
+    def _route_one(
+        self, seq: int, cost: float, body: bytes, *, replay: bool
+    ) -> tuple[int, int, list[tuple[int, float, bytes]]] | None:
+        """Pick a worker and buffer one tuple, blocking on backpressure.
+
+        Returns a ``(index, incarnation, entries)`` flush order when the
+        chosen slot's run reached ``batch_size`` (always, at B=1), or
+        ``None`` when the tuple is parked or left buffered for a later
+        flush. Before the caller ever blocks waiting for window space,
+        every non-empty outbox is flushed — a buffered tuple cannot be
+        acked, so waiting on it without flushing would deadlock.
 
         Replays never block: a full window is tolerated (transiently up
         to 2x bounded) and a dead region parks the tuple for the next
@@ -520,6 +668,7 @@ class ProcessRegion:
         block_slot: int | None = None
         stall_deadline = time.monotonic() + self.send_stall_timeout
         while True:
+            to_flush: list = []
             with self._cv:
                 if self._fatal is not None:
                     raise self._fatal
@@ -534,54 +683,105 @@ class ProcessRegion:
                         slot = self.slots[blocked_on]
                     else:
                         self._parked.append((seq, cost, body))
-                        return
+                        return None
                 if slot is not None:
                     if block_started is not None:
                         self._charge_block(block_started, block_slot)
                         block_started = None
                     slot.unacked[seq] = (cost, body)
                     self._owner[seq] = slot.index
-                    index = slot.index
-                    incarnation = slot.incarnation
-                else:
-                    if blocked_on is not None:
-                        if block_started is None or block_slot != blocked_on:
-                            if block_started is not None:
-                                self._charge_block(block_started, block_slot)
-                            block_started = time.monotonic()
-                            block_slot = blocked_on
-                    elif block_started is not None:
-                        # An outage (no serving slot) is downtime, not
-                        # backpressure: close the blocking episode.
-                        self._charge_block(block_started, block_slot)
-                        block_started = None
-                    if time.monotonic() > stall_deadline:
-                        raise RegionStalledError(
-                            f"no worker accepted seq {seq} within "
-                            f"{self.send_stall_timeout:g}s "
-                            f"(blocked_on={blocked_on})"
-                        )
+                    slot.outbox.append((seq, cost, body))
+                    if len(slot.outbox) >= self.batch_size:
+                        entries, slot.outbox = slot.outbox, []
+                        return slot.index, slot.incarnation, entries
+                    return None
+                if blocked_on is not None:
+                    if block_started is None or block_slot != blocked_on:
+                        if block_started is not None:
+                            self._charge_block(block_started, block_slot)
+                        block_started = time.monotonic()
+                        block_slot = blocked_on
+                elif block_started is not None:
+                    # An outage (no serving slot) is downtime, not
+                    # backpressure: close the blocking episode.
+                    self._charge_block(block_started, block_slot)
+                    block_started = None
+                if time.monotonic() > stall_deadline:
+                    raise RegionStalledError(
+                        f"no worker accepted seq {seq} within "
+                        f"{self.send_stall_timeout:g}s "
+                        f"(blocked_on={blocked_on})"
+                    )
+                to_flush = self._pop_outboxes_locked()
+                if not to_flush:
                     self._cv.wait(timeout=0.05)
                     continue
-            # Socket I/O strictly outside the region lock.
-            frame = framing.encode_data(seq, cost, body)
-            if self._send_frame(index, frame):
-                return
-            # Send failure == death; the failover replays seq for us
-            # (declare_dead is a no-op if another path beat us to it,
-            # but then that path already detached this incarnation).
-            self.supervisor.declare_dead(
-                index, "send failed", incarnation=incarnation
-            )
-            with self._lock:
-                if self._owner.get(seq) != index:
-                    # The failover drained the dead window first: seq is
-                    # already replayed, parked, or even completed.
-                    return
-                # Failover didn't see it (we registered after the death
-                # was handled): reclaim and re-route ourselves.
-                self._owner.pop(seq, None)
-                self.slots[index].unacked.pop(seq, None)
+            # Socket I/O strictly outside the region lock: ship every
+            # pending run so acks can free the window, then retry the
+            # same routing choice.
+            for order in to_flush:
+                self._dispatch_entries(*order)
+
+    # ------------------------------------------------------------- flushing
+
+    def _pop_outboxes_locked(
+        self,
+    ) -> list[tuple[int, int, list[tuple[int, float, bytes]]]]:
+        """Take every non-empty outbox (lock held); sends happen later."""
+        orders = []
+        for slot in self.slots:
+            if slot.outbox:
+                entries, slot.outbox = slot.outbox, []
+                orders.append((slot.index, slot.incarnation, entries))
+        return orders
+
+    def _flush_outboxes(self) -> None:
+        """Flush every buffered partial run (no region lock held)."""
+        with self._lock:
+            orders = self._pop_outboxes_locked()
+        for order in orders:
+            self._dispatch_entries(*order)
+
+    def _dispatch_entries(
+        self,
+        index: int,
+        incarnation: int,
+        entries: list[tuple[int, float, bytes]],
+    ) -> None:
+        """One flush: one frame, one send lock, one ``sendall``.
+
+        A failed send is a death; the failover replays everything it
+        finds in ``unacked``. Entries it did *not* see (we registered
+        after a concurrent death was handled) are reclaimed here and
+        re-routed — as replays, so a closing or dead region can park
+        them instead of blocking.
+        """
+        if self._send_batch(index, entries):
+            return
+        self.supervisor.declare_dead(
+            index, "send failed", incarnation=incarnation
+        )
+        stranded = []
+        with self._lock:
+            for seq, cost, body in entries:
+                if self._owner.get(seq) == index:
+                    self._owner.pop(seq)
+                    self.slots[index].unacked.pop(seq, None)
+                    stranded.append((seq, cost, body))
+        for seq, cost, body in stranded:
+            self._route_and_send(seq, cost, body, replay=True)
+
+    def _send_batch(
+        self, index: int, entries: list[tuple[int, float, bytes]]
+    ) -> bool:
+        """Encode one run as a single frame and ship it."""
+        if self.batch_size == 1 and len(entries) == 1:
+            # Byte-identical to the unbatched protocol: golden tests at
+            # B=1 pin this wire format.
+            frame = framing.encode_data(*entries[0])
+        else:
+            frame = framing.encode_data_batch(entries)
+        return self._send_frame(index, frame, tuples=len(entries))
 
     def _charge_block(self, started: float, slot_index: int | None) -> None:
         """Close one splitter blocking episode (lock held)."""
@@ -613,16 +813,28 @@ class ProcessRegion:
 
     # ------------------------------------------------------------ transport
 
-    def _send_frame(self, index: int, frame: bytes) -> bool:
+    def _send_frame(
+        self, index: int, frame: bytes, tuples: int = 0
+    ) -> bool:
+        """Ship one frame; ``tuples > 0`` marks it as a data flush."""
         with self._send_locks[index]:
             sock = self._socks[index]
             if sock is None:
                 return False
             try:
                 sock.sendall(frame)
-                return True
             except OSError:
                 return False
+            # Wire accounting under the send lock: per-worker cells, so
+            # concurrent flushes to different workers never contend.
+            self._wire_frames_out[index] += 1
+            self._wire_bytes_out[index] += len(frame)
+            if tuples:
+                self._data_flushes[index] += 1
+                self._data_tuples_flushed[index] += tuples
+                if self._occupancy_hist is not None:
+                    self._occupancy_hist.observe(tuples)
+            return True
 
     def _accept_loop(self) -> None:
         # The listener carries an accept timeout: closing a socket from
@@ -718,12 +930,15 @@ class ProcessRegion:
         try:
             for message in backlog:
                 self._handle_message(slot, incarnation, message)
+            self._wire_frames_in[slot.index] += len(backlog)
             while True:
                 chunk = conn.recv(65536)
                 if not chunk:
                     assembler.eof()  # raises if the peer died mid-frame
                     break
-                for message in assembler.feed(chunk):
+                messages = assembler.feed(chunk)
+                self._wire_frames_in[slot.index] += len(messages)
+                for message in messages:
                     self._handle_message(slot, incarnation, message)
         except framing.TruncatedStreamError as exc:
             torn = str(exc)
@@ -736,25 +951,42 @@ class ProcessRegion:
                 incarnation=incarnation,
             )
 
+    def _absorb_result_locked(
+        self, slot: WorkerSlot, seq: int, body: bytes
+    ) -> None:
+        """Dedup + credit + merge one result (region lock held)."""
+        owner = self._owner.pop(seq, None)
+        if owner is None:
+            self._duplicates += 1
+            return
+        self.slots[owner].unacked.pop(seq, None)
+        slot.results += 1
+        self._results += 1
+        for out_seq, out_body in self._reorderer.push(seq, body):
+            if self.sink is not None:
+                self.sink(out_seq, out_body)
+            else:
+                self.outputs.append((out_seq, out_body))
+
     def _handle_message(
         self, slot: WorkerSlot, incarnation: int, message: framing.Message
     ) -> None:
         if message.type == framing.MSG_RESULT:
             seq, _service, body = message.result()
             with self._cv:
-                owner = self._owner.pop(seq, None)
-                if owner is None:
-                    self._duplicates += 1
-                else:
-                    self.slots[owner].unacked.pop(seq, None)
-                    slot.results += 1
-                    self._results += 1
-                    for out_seq, out_body in self._reorderer.push(seq, body):
-                        if self.sink is not None:
-                            self.sink(out_seq, out_body)
-                        else:
-                            self.outputs.append((out_seq, out_body))
-                    self._cv.notify_all()
+                self._absorb_result_locked(slot, seq, body)
+                self._cv.notify_all()
+            self.supervisor.heartbeat(slot.index, incarnation)
+        elif message.type == framing.MSG_RESULT_BATCH:
+            # One cumulative ack run: one lock acquisition, one wakeup,
+            # one liveness refresh for the whole batch. A replayed batch
+            # overlapping already-acked seqs dedupes entry by entry —
+            # first result wins, the rest count as duplicates.
+            entries = message.result_batch()
+            with self._cv:
+                for seq, _service, body in entries:
+                    self._absorb_result_locked(slot, seq, body)
+                self._cv.notify_all()
             self.supervisor.heartbeat(slot.index, incarnation)
         elif message.type == framing.MSG_HEARTBEAT:
             _processed, beat_incarnation = message.heartbeat()

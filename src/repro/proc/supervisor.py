@@ -128,6 +128,13 @@ class WorkerSlot:
     #: Owned and mutated by the region under its lock; lives here so a
     #: slot's retransmit state travels with its lifecycle.
     unacked: dict = field(default_factory=dict)
+    #: Routed-but-unflushed tuples awaiting the next batched wire flush:
+    #: ``(seq, cost_seconds, body)`` in routing order. Every entry is
+    #: already registered in ``unacked`` (the retransmit contract covers
+    #: buffered tuples), so a death simply discards the outbox — the
+    #: replay path re-batches from ``unacked``. Region-lock discipline
+    #: matches ``unacked``.
+    outbox: list = field(default_factory=list)
     #: Results credited to this slot (across incarnations).
     results: int = 0
 

@@ -21,6 +21,16 @@ frame times the worker's ``--multiplier`` (heterogeneous capacity) times
 a runtime CONTROL multiplier (host-slowdown faults). ``--mode spin``
 burns CPU for the duration (the multi-core benchmark), ``--mode sleep``
 sleeps it (cheap tests).
+
+Batched wire protocol: tuples arriving in a ``DATA_BATCH`` run are
+serviced a whole run per wakeup, and their results accumulate into a
+single cumulative ``RESULT_BATCH`` ack — flushed when the queue drains,
+when a heartbeat falls due, or at :data:`RESULT_FLUSH_MAX` pending
+entries, whichever comes first. Heartbeats are never starved behind a
+large run: the service loop breaks out between tuples the moment the
+heartbeat deadline passes. Tuples arriving as plain ``DATA`` are acked
+with a per-tuple ``RESULT`` immediately, keeping the ``batch_size=1``
+wire behavior identical to the pre-batching protocol.
 """
 
 from __future__ import annotations
@@ -34,6 +44,11 @@ import time
 from collections import deque
 
 from repro.net import framing
+
+#: Cumulative-ack cap: a RESULT_BATCH flushes at this many pending
+#: entries even mid-run, bounding both ack latency under a huge backlog
+#: and the frame size (well under ``framing.MAX_PAYLOAD``).
+RESULT_FLUSH_MAX = 512
 
 
 class WorkerMain:
@@ -71,6 +86,9 @@ class WorkerMain:
         self.control_multiplier = 1.0
         self.processed = 0
         self._draining = False
+        #: Whether TCP_NODELAY stuck on the connect socket (None before
+        #: connect) — introspectable for the nodelay regression test.
+        self.nodelay_enabled: bool | None = None
 
     # ------------------------------------------------------------- service
 
@@ -99,26 +117,43 @@ class WorkerMain:
         )
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self.nodelay_enabled = bool(
+                sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY)
+            )
         except OSError:  # pragma: no cover - AF_UNIX in exotic setups
             pass
         sock.settimeout(None)
         sock.sendall(framing.encode_hello(self.worker_id, self.incarnation))
         assembler = framing.MessageAssembler()
-        queue: deque[tuple[int, float, bytes]] = deque()
+        # Queue entries are ``(seq, cost, body, batched)``: batched
+        # tuples accumulate a cumulative ack, unbatched ones ack per
+        # tuple (the B=1 wire behavior, byte for byte).
+        queue: deque[tuple[int, float, bytes, bool]] = deque()
+        #: Serviced-but-unacked batched results awaiting one flush.
+        pending: list[tuple[int, float, bytes]] = []
         next_heartbeat = time.monotonic() + self.heartbeat_interval
         try:
             while True:
-                if self._draining and not queue:
-                    sock.sendall(framing.encode_bye(self.processed))
-                    return 0
                 now = time.monotonic()
                 if now >= next_heartbeat:
+                    # The cumulative ack rides ahead of the beat so the
+                    # parent's liveness view never outruns its results.
+                    if pending:
+                        sock.sendall(framing.encode_result_batch(pending))
+                        pending.clear()
                     sock.sendall(
                         framing.encode_heartbeat(
                             self.processed, self.incarnation
                         )
                     )
                     next_heartbeat = now + self.heartbeat_interval
+                if pending and not queue:
+                    # The run is serviced: one RESULT_BATCH covers it.
+                    sock.sendall(framing.encode_result_batch(pending))
+                    pending.clear()
+                if self._draining and not queue:
+                    sock.sendall(framing.encode_bye(self.processed))
+                    return 0
                 # Poll for input; don't sleep if there is work queued.
                 timeout = 0.0 if queue else min(
                     self.heartbeat_interval, next_heartbeat - now
@@ -135,21 +170,43 @@ class WorkerMain:
                         return 0  # parent is gone; nothing to report to
                     for message in assembler.feed(chunk):
                         if message.type == framing.MSG_DATA:
-                            queue.append(message.data())
+                            queue.append(message.data() + (False,))
+                        elif message.type == framing.MSG_DATA_BATCH:
+                            queue.extend(
+                                entry + (True,)
+                                for entry in message.data_batch()
+                            )
                         elif message.type == framing.MSG_CONTROL:
                             self.control_multiplier = message.control()
                         elif message.type == framing.MSG_EOS:
                             self._draining = True
-                if queue:
-                    seq, cost, body = queue.popleft()
+                # Service a whole run per wakeup, breaking out between
+                # tuples the moment a heartbeat falls due so liveness is
+                # never starved behind a large batch.
+                while queue:
+                    seq, cost, body, batched = queue.popleft()
                     realized = self._service(cost)
-                    sock.sendall(framing.encode_result(seq, realized, body))
                     self.processed += 1
+                    if batched:
+                        pending.append((seq, realized, body))
+                        if len(pending) >= RESULT_FLUSH_MAX:
+                            sock.sendall(
+                                framing.encode_result_batch(pending)
+                            )
+                            pending.clear()
+                    else:
+                        sock.sendall(
+                            framing.encode_result(seq, realized, body)
+                        )
                     if (
                         self.exit_after is not None
                         and self.processed >= self.exit_after
                     ):
+                        # A crash stand-in: die with pending acks
+                        # unsent, exactly like a SIGKILL mid-batch.
                         return self.exit_code
+                    if time.monotonic() >= next_heartbeat:
+                        break
         except (framing.TruncatedStreamError, OSError):
             # A torn parent stream / dead parent: nothing useful left to
             # do. Exit zero — the parent decides what this death means.

@@ -79,6 +79,10 @@ class TestScenario:
         assert config.fault_schedule.count_crashes[0].emitted == 50
         assert config.fault_schedule.count_crashes[0].worker == 2
 
+    def test_batch_size_rides_region_params(self):
+        assert process_scenario().region.batch_size == 1
+        assert process_scenario(batch_size=16).region.batch_size == 16
+
 
 @pytest.mark.sockets
 class TestExecution:
@@ -118,6 +122,24 @@ class TestExecution:
         restored = result_from_dict(result_to_dict(result))
         assert restored.worker_restarts == result.worker_restarts
         assert restored.quarantines == result.quarantines
+
+    def test_batched_wire_runs_through_experiment_dispatch(self):
+        # batch_size plumbs ExperimentConfig -> run_process_experiment ->
+        # ProcessRegion, surviving a mid-run kill on the batched wire.
+        config = process_scenario(
+            n_workers=2,
+            total_tuples=120,
+            tuple_cost_seconds=0.001,
+            crash_worker=1,
+            crash_at_emitted=20,
+            batch_size=8,
+        )
+        result = run_process_experiment(
+            config, "rr", supervisor_config=FAST, timeout=60.0
+        )
+        assert result.completed
+        assert result.emitted == 120
+        assert result.worker_restarts >= 1
 
     def test_summary_mentions_restarts(self):
         config = process_scenario(

@@ -30,6 +30,8 @@ def _all_messages() -> list[bytes]:
         framing.encode_control(2.5),
         framing.encode_eos(),
         framing.encode_bye(100),
+        framing.encode_data_batch([(7, 0.25, b"a"), (9, 0.5, b"bb")]),
+        framing.encode_result_batch([(7, 0.25, b"a"), (9, 0.5, b"bb")]),
     ]
 
 
@@ -45,6 +47,8 @@ class TestMessageRoundTrip:
             framing.MSG_CONTROL,
             framing.MSG_EOS,
             framing.MSG_BYE,
+            framing.MSG_DATA_BATCH,
+            framing.MSG_RESULT_BATCH,
         ]
         assert messages[0].hello() == (3, 7)
         assert messages[1].data() == (42, 0.125, b"payload")
@@ -53,6 +57,8 @@ class TestMessageRoundTrip:
         assert messages[4].control() == 2.5
         assert messages[5].payload == b""
         assert messages[6].bye() == 100
+        assert messages[7].data_batch() == [(7, 0.25, b"a"), (9, 0.5, b"bb")]
+        assert messages[8].result_batch() == [(7, 0.25, b"a"), (9, 0.5, b"bb")]
 
     def test_one_byte_at_a_time_yields_identical_messages(self):
         wire = b"".join(_all_messages())
@@ -130,6 +136,101 @@ class TestMessageAssemblerTruncation:
             framing.encode(
                 framing.MSG_DATA, b"\x00" * (framing.MAX_PAYLOAD + 1)
             )
+
+
+class TestBatchFrames:
+    """DATA_BATCH / RESULT_BATCH columnar frames (the batched wire)."""
+
+    ENTRIES = [
+        (1000, 0.001, b"alpha"),
+        (1001, 0.002, b""),
+        (1004, 0.004, b"x" * 300),
+        (1002, 0.0, b"out-of-order replay"),
+    ]
+
+    def test_data_batch_round_trip(self):
+        frame = framing.encode_data_batch(self.ENTRIES)
+        [message] = MessageAssembler().feed(frame)
+        assert message.type == framing.MSG_DATA_BATCH
+        assert message.data_batch() == self.ENTRIES
+
+    def test_result_batch_round_trip(self):
+        frame = framing.encode_result_batch(self.ENTRIES)
+        [message] = MessageAssembler().feed(frame)
+        assert message.type == framing.MSG_RESULT_BATCH
+        assert message.result_batch() == self.ENTRIES
+
+    def test_single_entry_batch_round_trips(self):
+        frame = framing.encode_data_batch([(0, 1.5, b"only")])
+        [message] = MessageAssembler().feed(frame)
+        assert message.data_batch() == [(0, 1.5, b"only")]
+
+    def test_non_monotonic_seqs_survive(self):
+        # Replay interleaves old seqs into a fresh run; the base is the
+        # minimum, not the first, so order inside the run is free.
+        entries = [(500, 0.1, b"new"), (3, 0.2, b"replayed")]
+        frame = framing.encode_result_batch(entries)
+        [message] = MessageAssembler().feed(frame)
+        assert message.result_batch() == entries
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one entry"):
+            framing.encode_data_batch([])
+
+    def test_seq_spread_beyond_u32_rejected(self):
+        entries = [(0, 0.0, b""), (1 << 32, 0.0, b"")]
+        with pytest.raises(ValueError, match="seq spread"):
+            framing.encode_data_batch(entries)
+
+    def test_zero_count_payload_raises(self):
+        wire = framing.encode(
+            framing.MSG_DATA_BATCH, struct.pack("!QI", 0, 0)
+        )
+        [message] = MessageAssembler().feed(wire)
+        with pytest.raises(TruncatedStreamError):
+            message.data_batch()
+
+    def test_truncated_columns_raise(self):
+        frame = framing.encode_data_batch(self.ENTRIES)
+        [message] = MessageAssembler().feed(frame)
+        # Chop the payload mid-column and re-wrap: decode must refuse.
+        for cut in (9, 13, 21, len(message.payload) - 1):
+            mangled = framing.encode(
+                framing.MSG_DATA_BATCH, message.payload[:cut]
+            )
+            [broken] = MessageAssembler().feed(mangled)
+            with pytest.raises(TruncatedStreamError):
+                broken.data_batch()
+
+    def test_trailing_garbage_raises(self):
+        frame = framing.encode_data_batch([(5, 0.5, b"ok")])
+        [message] = MessageAssembler().feed(frame)
+        mangled = framing.encode(
+            framing.MSG_DATA_BATCH, message.payload + b"junk"
+        )
+        [broken] = MessageAssembler().feed(mangled)
+        with pytest.raises(TruncatedStreamError, match="bodies mismatch"):
+            broken.data_batch()
+
+    def test_max_size_batch_torn_at_every_byte_boundary(self):
+        # The largest frame the worker ever flushes: a full cumulative
+        # RESULT_BATCH run. Split the wire bytes at every boundary and
+        # assert the assembler reunites each half into the same batch.
+        from repro.proc.worker import RESULT_FLUSH_MAX
+
+        entries = [
+            (i * 3, i * 0.25, bytes([i & 0xFF]) * (i % 7))
+            for i in range(RESULT_FLUSH_MAX)
+        ]
+        wire = framing.encode_result_batch(entries)
+        expect = MessageAssembler().feed(wire)
+        assert expect[0].result_batch() == entries
+        for cut in range(1, len(wire)):
+            assembler = MessageAssembler()
+            out = assembler.feed(wire[:cut])
+            out += assembler.feed(wire[cut:])
+            assert out == expect, f"torn at byte {cut} diverged"
+            assembler.eof()
 
 
 class TestFrameAssemblerTornFrames:

@@ -277,6 +277,129 @@ class TestChaos:
         assert stats.results + stats.duplicates_dropped >= n
 
 
+class TestBatchedWire:
+    """The batched wire protocol: DATA_BATCH runs, cumulative acks."""
+
+    def test_batched_happy_path_ordered_gap_free(self):
+        region = ProcessRegion(
+            3, supervisor_config=FAST, window=64, batch_size=8
+        )
+        n = 240
+        stats, outputs = run_region(
+            region,
+            [0.0005] * n,
+            bodies=[b"t%d" % i for i in range(n)],
+        )
+        expect_ordered(outputs, n, lambda i: b"t%d" % i)
+        assert stats.results == n
+        assert stats.duplicates_dropped == 0
+        # The whole point: far fewer flushes (sendall calls) than tuples.
+        assert stats.data_flushes < n // 2
+        assert stats.mean_batch_occupancy > 1.5
+        assert stats.wire_frames_received < n
+
+    def test_batch_size_one_keeps_per_tuple_wire(self):
+        region = ProcessRegion(
+            2, supervisor_config=FAST, window=16, batch_size=1
+        )
+        n = 60
+        stats, outputs = run_region(region, [0.0005] * n)
+        expect_ordered(outputs, n)
+        # One flush per tuple, occupancy exactly 1: B=1 is the old wire.
+        assert stats.data_flushes == n
+        assert stats.mean_batch_occupancy == 1.0
+
+    def test_batched_sigkill_mid_batch_gap_free_zero_duplicates(self):
+        # The acceptance scenario: a worker dies holding a partially
+        # acked DATA_BATCH run; its unacked entries are re-batched to
+        # survivors, and the merged output has no gap and no duplicate.
+        n = 400
+        region = ProcessRegion(
+            4, supervisor_config=FAST, window=64, batch_size=16
+        )
+        schedule = FaultSchedule.crash_after_emitted(1, 50)
+        stats, outputs = run_region(
+            region,
+            [0.001] * n,
+            bodies=[b"payload-%d" % i for i in range(n)],
+            timeout=90.0,
+            schedule=schedule,
+        )
+        expect_ordered(outputs, n, lambda i: b"payload-%d" % i)
+        assert stats.results == n
+        assert stats.restarts >= 1
+        assert stats.episodes >= 1
+        assert stats.replayed >= 1
+
+    def test_result_batch_overlapping_replay_dedups(self):
+        # Unit-level: a replayed RESULT_BATCH overlapping already-acked
+        # seqs must count duplicates, not double-emit. No processes —
+        # results are injected through _handle_message directly.
+        from repro.net import framing
+
+        region = ProcessRegion(
+            2, supervisor_config=FAST, window=16, batch_size=4
+        )
+        try:
+            slot = region.slots[0]
+            entries = [(seq, 0.0, b"x%d" % seq) for seq in range(4)]
+            with region._cv:
+                for seq, cost, body in entries:
+                    region._owner[seq] = 0
+                    slot.unacked[seq] = (cost, body)
+            [batch] = framing.MessageAssembler().feed(
+                framing.encode_result_batch(entries)
+            )
+            region._handle_message(slot, slot.incarnation, batch)
+            assert region.results == 4
+            assert region.outputs == [
+                (seq, b"x%d" % seq) for seq in range(4)
+            ]
+            # The replayed copy overlaps all four: every entry dedups.
+            region._handle_message(slot, slot.incarnation, batch)
+            assert region.results == 4
+            assert region.stats().duplicates_dropped == 4
+            assert len(region.outputs) == 4
+            assert slot.unacked == {}
+        finally:
+            region._listener_sock.close()
+
+    def test_wait_ready_blocks_until_all_slots_serve(self):
+        region = ProcessRegion(2, supervisor_config=FAST, window=8)
+        try:
+            region.start().wait_ready(timeout=30.0)
+            assert all(s.state == UP for s in region.slots)
+            assert all(sock is not None for sock in region._socks)
+        finally:
+            region.close()
+
+    def test_wait_ready_requires_start(self):
+        region = ProcessRegion(1, supervisor_config=FAST)
+        try:
+            with pytest.raises(RuntimeError, match="not started"):
+                region.wait_ready(timeout=0.1)
+        finally:
+            region._listener_sock.close()
+
+
+class TestNodelay:
+    """TCP_NODELAY must be on at both ends of every worker connection."""
+
+    def test_parent_accept_socket_has_nodelay(self):
+        import socket as socket_module
+
+        region = ProcessRegion(2, supervisor_config=FAST, window=8)
+        try:
+            region.start().wait_ready(timeout=30.0)
+            for sock in region._socks:
+                assert sock is not None
+                assert sock.getsockopt(
+                    socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY
+                ) != 0
+        finally:
+            region.close()
+
+
 class TestPromptShutdown:
     def test_close_races_pending_restart_without_stalling(self):
         # Kill a worker, then close while its replacement is still

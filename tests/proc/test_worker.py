@@ -160,6 +160,118 @@ class TestWorkerLoop:
         with pytest.raises(ValueError, match="unknown mode"):
             WorkerMain("127.0.0.1", 1, 0, 0, mode="warp")
 
+    def test_connect_socket_has_nodelay(self):
+        parent = ParentStub()
+
+        def script(conn):
+            conn.sendall(framing.encode_eos())
+
+        parent.start(script)
+        worker = make_worker(parent.port)
+        assert worker.run() == 0
+        parent.finish()
+        assert worker.nodelay_enabled is True
+
+
+class TestWorkerBatchedWire:
+    """DATA_BATCH runs in, one cumulative RESULT_BATCH ack out."""
+
+    def test_batch_acked_with_single_cumulative_result_batch(self):
+        parent = ParentStub()
+        entries = [(seq, 0.0, b"b%d" % seq) for seq in range(10, 22)]
+
+        def script(conn):
+            conn.sendall(framing.encode_data_batch(entries))
+            conn.sendall(framing.encode_eos())
+
+        parent.start(script)
+        worker = make_worker(parent.port)
+        assert worker.run() == 0
+        parent.finish()
+
+        # No per-tuple RESULT frames at all — the run acks as one batch.
+        assert parent.of_type(framing.MSG_RESULT) == []
+        batches = parent.of_type(framing.MSG_RESULT_BATCH)
+        assert len(batches) == 1
+        acked = batches[0].result_batch()
+        assert [(seq, body) for seq, _, body in acked] == [
+            (seq, body) for seq, _, body in entries
+        ]
+        assert worker.processed == len(entries)
+
+    def test_plain_data_still_acked_per_tuple(self):
+        # A mixed stream: plain DATA keeps the old per-tuple wire while
+        # batched runs ack cumulatively — B=1 compatibility in one loop.
+        parent = ParentStub()
+
+        def script(conn):
+            conn.sendall(framing.encode_data(0, 0.0, b"plain"))
+            conn.sendall(
+                framing.encode_data_batch([(1, 0.0, b"x"), (2, 0.0, b"y")])
+            )
+            conn.sendall(framing.encode_eos())
+
+        parent.start(script)
+        worker = make_worker(parent.port)
+        assert worker.run() == 0
+        parent.finish()
+
+        results = parent.of_type(framing.MSG_RESULT)
+        assert [m.result()[0] for m in results] == [0]
+        batches = parent.of_type(framing.MSG_RESULT_BATCH)
+        assert [
+            seq for b in batches for seq, _, _ in b.result_batch()
+        ] == [1, 2]
+
+    def test_heartbeats_not_starved_behind_large_batch(self):
+        # 40 tuples x ~5ms against a 20ms heartbeat interval: the worker
+        # must interleave beats with the run, not go silent for 200ms.
+        parent = ParentStub()
+        entries = [(seq, 0.005, b"") for seq in range(40)]
+
+        def script(conn):
+            conn.sendall(framing.encode_data_batch(entries))
+            conn.sendall(framing.encode_eos())
+
+        parent.start(script)
+        worker = make_worker(parent.port, heartbeat_interval=0.02)
+        assert worker.run() == 0
+        parent.finish()
+
+        beats = parent.of_type(framing.MSG_HEARTBEAT)
+        assert len(beats) >= 3, (
+            f"only {len(beats)} heartbeats during a ~200ms batched run"
+        )
+        # Every tuple still acked exactly once across the partial
+        # flushes the heartbeat deadline forced.
+        acked = [
+            seq
+            for b in parent.of_type(framing.MSG_RESULT_BATCH)
+            for seq, _, _ in b.result_batch()
+        ]
+        assert sorted(acked) == list(range(40))
+        assert len(parent.of_type(framing.MSG_RESULT_BATCH)) > 1
+
+    def test_crash_mid_batch_leaves_pending_acks_unsent(self):
+        # The exit_after crash stand-in dies WITHOUT flushing: the seqs
+        # it serviced but never acked stay in the parent's retransmit
+        # buffer — exactly what replay-on-death needs.
+        parent = ParentStub()
+        entries = [(seq, 0.0, b"") for seq in range(6)]
+
+        def script(conn):
+            conn.sendall(framing.encode_data_batch(entries))
+            # No EOS: the worker dies on its own mid-run.
+
+        parent.start(script)
+        worker = make_worker(parent.port, exit_after=3, exit_code=9)
+        assert worker.run() == 9
+        parent.finish()
+        assert worker.processed == 3
+        assert parent.of_type(framing.MSG_RESULT_BATCH) == []
+        assert parent.of_type(framing.MSG_RESULT) == []
+        assert parent.of_type(framing.MSG_BYE) == []
+
 
 class TestArgumentParser:
     def test_defaults(self):
